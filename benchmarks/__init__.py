@@ -1,0 +1,6 @@
+"""Benchmark package: one module per paper figure plus ablations.
+
+Packaging this directory lets benchmark modules share helpers via
+``from benchmarks.conftest import run_once`` regardless of how pytest
+is invoked.
+"""

@@ -1,0 +1,65 @@
+"""Ablation: proxy selection strategies across concurrent incasts (§5, FW#3)."""
+
+import pytest
+
+from repro.config import TransportConfig, small_interdc_config
+from repro.orchestration import run_concurrent_incasts
+from repro.units import megabytes
+from repro.workloads import uniform_incast
+
+from benchmarks.conftest import run_once
+
+STRATEGIES = ("none", "shared", "round-robin", "central", "decentralized")
+
+
+def make_jobs():
+    return [
+        uniform_incast(f"j{i}", degree=2, total_bytes=megabytes(12),
+                       receiver_index=i, sender_offset=i * 2)
+        for i in range(3)
+    ]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_strategy(benchmark, strategy):
+    """Three concurrent incasts under one selection strategy."""
+    scheme = "baseline" if strategy == "none" else "streamlined"
+    result = run_once(
+        benchmark,
+        lambda: run_concurrent_incasts(
+            make_jobs(), scheme=scheme, strategy=strategy,
+            interdc=small_interdc_config(),
+            transport=TransportConfig(payload_bytes=4096),
+        ),
+    )
+    assert result.completed
+    benchmark.extra_info.update(
+        ablation="orchestration", strategy=strategy,
+        mean_ict_ms=result.mean_ict_ps / 1e9,
+        makespan_ms=result.makespan_ps / 1e9,
+        probes=result.probes, fallbacks=result.fallbacks,
+    )
+
+
+def test_contention_ordering(benchmark):
+    """Per-incast proxies beat the shared proxy, which beats no proxy."""
+
+    def compare():
+        cfg = small_interdc_config()
+        transport = TransportConfig(payload_bytes=4096)
+        out = {}
+        for scheme, strategy in (
+            ("baseline", "none"), ("streamlined", "shared"), ("streamlined", "central")
+        ):
+            out[strategy] = run_concurrent_incasts(
+                make_jobs(), scheme=scheme, strategy=strategy,
+                interdc=cfg, transport=transport,
+            ).mean_ict_ps
+        return out
+
+    icts = run_once(benchmark, compare)
+    assert icts["central"] < icts["shared"] < icts["none"]
+    benchmark.extra_info.update(
+        ablation="orchestration",
+        mean_ict_ms={k: round(v / 1e9, 3) for k, v in icts.items()},
+    )

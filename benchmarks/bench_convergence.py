@@ -1,0 +1,47 @@
+"""Convergence analysis bench — §3 Insight #2 quantified.
+
+Not a figure in the paper, but its central mechanism: the proxy lets
+senders converge to a rate that fills the bottleneck.  We measure
+time-to-sustained-80%-utilization and mean utilization per scheme.
+"""
+
+import pytest
+
+from repro.experiments.convergence import compare_convergence, measure_convergence
+from dataclasses import replace
+
+from benchmarks.conftest import run_once
+
+SCHEMES = ("baseline", "naive", "streamlined")
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_convergence_point(benchmark, reduced_scenario, scheme):
+    """One scheme's goodput trajectory and derived metrics."""
+    scenario = replace(reduced_scenario, scheme=scheme)
+    result = run_once(benchmark, lambda: measure_convergence(scenario))
+    assert result.completed
+    benchmark.extra_info.update(
+        analysis="convergence", scheme=scheme,
+        mean_utilization=round(result.mean_utilization, 3),
+        converged_ms=(
+            result.convergence_time_ps / 1e9
+            if result.convergence_time_ps is not None
+            else None
+        ),
+        underutilized_ms=result.underutilized_ps / 1e9,
+    )
+
+
+def test_proxy_converges_baseline_does_not(benchmark, reduced_scenario):
+    """The mechanism claim, end to end."""
+    results = run_once(benchmark, lambda: compare_convergence(reduced_scenario))
+    assert results["naive"].convergence_time_ps is not None
+    assert results["streamlined"].convergence_time_ps is not None
+    assert results["baseline"].mean_utilization < results["naive"].mean_utilization / 2
+    benchmark.extra_info.update(
+        analysis="convergence",
+        mean_utilization={
+            scheme: round(r.mean_utilization, 3) for scheme, r in results.items()
+        },
+    )

@@ -1,0 +1,72 @@
+"""Extension bench: cascaded relays on a multi-DC chain.
+
+Beyond the paper's two-DC setting: DC0 -(1 ms)- DC1 -(10 ms)- DC2.  The
+edge relay (the paper's design) already collapses the incast convergence
+problem; the cascade's additional relay in DC1 pays off when a near
+segment misbehaves — its losses are repaired over that segment's 2 ms RTT
+instead of the 22 ms end-to-end loop.
+"""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.config import FabricConfig, QueueSpec, TransportConfig
+from repro.experiments.cascade import CascadeScenario, run_cascade
+from repro.topology.multidc import MultiDcConfig
+from repro.units import kilobytes, megabytes, milliseconds
+
+from benchmarks.conftest import run_once
+
+
+def chain_scenario() -> CascadeScenario:
+    fabric = FabricConfig(
+        spines=2, leaves=2, servers_per_leaf=4,
+        switch_queue=QueueSpec(kind="ecn", capacity_bytes=megabytes(4),
+                               ecn_low_bytes=kilobytes(33.2),
+                               ecn_high_bytes=kilobytes(136.95)),
+    )
+    chain = MultiDcConfig(
+        fabric=fabric,
+        segment_delays_ps=(milliseconds(1), milliseconds(10)),
+        backbone_per_spine=2,
+        backbone_queue=QueueSpec(kind="ecn", capacity_bytes=megabytes(12),
+                                 ecn_low_bytes=megabytes(2.5),
+                                 ecn_high_bytes=megabytes(10)),
+    )
+    return CascadeScenario(
+        degree=4, total_bytes=megabytes(16), chain=chain,
+        transport=TransportConfig(payload_bytes=4096),
+    )
+
+
+@pytest.mark.parametrize("scheme", ["baseline", "edge", "cascade"])
+def test_chain_scheme(benchmark, scheme):
+    """One scheme on the healthy chain."""
+    scenario = replace(chain_scenario(), scheme=scheme)
+    result = run_once(benchmark, lambda: run_cascade(scenario))
+    assert result.completed
+    benchmark.extra_info.update(
+        extension="cascade", scheme=scheme, ict_ms=result.ict_ps / 1e9,
+        relays=result.relays_used,
+    )
+
+
+def test_cascade_survives_near_segment_blip(benchmark):
+    """Recovery locality: blip segment 0 and compare edge vs cascade."""
+
+    def compare():
+        blip = (0, milliseconds(1), milliseconds(3))
+        base = chain_scenario()
+        return {
+            scheme: run_cascade(replace(base, scheme=scheme, blip=blip)).ict_ps
+            for scheme in ("baseline", "edge", "cascade")
+        }
+
+    icts = run_once(benchmark, compare)
+    assert icts["cascade"] < 0.5 * icts["edge"] < 0.5 * icts["baseline"]
+    benchmark.extra_info.update(
+        extension="cascade",
+        blip="segment0@1ms+3ms",
+        ict_ms={k: round(v / 1e9, 3) for k, v in icts.items()},
+    )

@@ -1,0 +1,54 @@
+"""Extension bench: the pattern-aware rerouting loop (§6).
+
+A periodic incast train through the controller: the first bursts run
+direct while the period is learned, the rest ride a pre-staged proxy.
+Measures the learning cost and the steady-state benefit.
+"""
+
+import pytest
+
+from repro.config import TransportConfig, small_interdc_config
+from repro.patterns import ControllerConfig, PatternAwareController, run_pattern_aware
+from repro.units import megabytes, milliseconds
+from repro.workloads import periodic_incasts
+
+from benchmarks.conftest import run_once
+
+
+def run_loop(bursts=8):
+    jobs = periodic_incasts(bursts=bursts, period_ps=milliseconds(60), degree=4,
+                            total_bytes=megabytes(16))
+    controller = PatternAwareController(
+        ControllerConfig(bin_ps=milliseconds(10), min_bursts=4)
+    )
+    return run_pattern_aware(
+        jobs, small_interdc_config(), TransportConfig(payload_bytes=4096),
+        controller=controller,
+    )
+
+
+def test_pattern_loop(benchmark):
+    """End-to-end closed loop: learning prefix + predicted suffix."""
+    result = run_once(benchmark, run_loop)
+    assert result.runs.completed
+    assert result.learned_period_ps == milliseconds(60)
+    assert result.proxied_jobs
+    benchmark.extra_info.update(
+        extension="pattern-aware",
+        learning_bursts=result.learning_bursts,
+        predicted_bursts=len(result.proxied_jobs),
+        mean_ict_ms_direct=round(result.mean_ict_ps(result.direct_jobs) / 1e9, 3),
+        mean_ict_ms_predicted=round(result.mean_ict_ps(result.proxied_jobs) / 1e9, 3),
+    )
+
+
+def test_predicted_bursts_beat_learning_bursts(benchmark):
+    """The steady-state benefit exceeds the learning cost per burst."""
+    result = run_once(benchmark, lambda: run_loop(bursts=10))
+    direct = result.mean_ict_ps(result.direct_jobs)
+    predicted = result.mean_ict_ps(result.proxied_jobs)
+    assert predicted < 0.7 * direct
+    benchmark.extra_info.update(
+        extension="pattern-aware",
+        speedup=round(direct / predicted, 2),
+    )

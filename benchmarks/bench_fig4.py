@@ -1,0 +1,42 @@
+"""Figure 4: per-packet latency CDF of the user-space naive proxy.
+
+Paper anchor: the 99th-percentile per-packet latency of the user-space
+TC-redirect proxy reaches 359.17 us — kernel/user crossings dwarf the
+relay logic itself.
+"""
+
+import pytest
+
+from repro.hoststack import measure_pipeline, userspace_proxy_pipeline
+
+from benchmarks.conftest import run_once
+
+PACKETS = 100_000
+
+
+def test_fig4_userspace_cdf(benchmark):
+    """Regenerate the Fig. 4 CDF and check the p99 anchor."""
+    measurement = run_once(
+        benchmark, lambda: measure_pipeline(userspace_proxy_pipeline(), PACKETS, seed=0)
+    )
+    p99 = measurement.percentile_us(99)
+    assert p99 == pytest.approx(359.17, rel=0.10)
+    benchmark.extra_info.update(
+        figure="4",
+        paper_anchor_p99_us=359.17,
+        measured=measurement.table((1, 25, 50, 75, 90, 99, 99.9)),
+        packets=PACKETS,
+    )
+
+
+def test_fig4_tail_dominates(benchmark):
+    """The distribution is long-tailed: p99 is several times the median."""
+    measurement = run_once(
+        benchmark, lambda: measure_pipeline(userspace_proxy_pipeline(), PACKETS, seed=1)
+    )
+    assert measurement.percentile_us(99) > 3 * measurement.percentile_us(50)
+    benchmark.extra_info.update(
+        figure="4",
+        p50_us=measurement.percentile_us(50),
+        p99_us=measurement.percentile_us(99),
+    )

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""The incast programming abstraction end to end (paper §6, first direction).
+
+A developer declares the application's components and its incast-like
+communication — nothing about datacenters or proxies.  At deployment time
+the provider places components (here: workers land in DC0, the parameter
+service in DC1), discovers which declared incasts became inter-datacenter,
+and transparently rewrites them to run proxy-assisted.
+
+Run:  python examples/annotated_deployment.py
+"""
+
+from __future__ import annotations
+
+from repro.abstraction import AppGraph, DeploymentPlanner
+from repro.config import TransportConfig, small_interdc_config
+from repro.units import format_duration, megabytes
+
+
+def declare_application() -> AppGraph:
+    """What the developer writes: structure, not placement."""
+    app = AppGraph("param-sync")
+    app.add_component("workers", replicas=4)
+    app.add_component("evaluator", replicas=2)
+    app.add_component("param-server", replicas=1)
+    app.declare_incast(
+        "gradient-push",
+        senders=["workers"],
+        receiver="param-server",
+        bytes_per_burst=megabytes(24),
+        periodic=True,
+    )
+    app.declare_incast(
+        "eval-report",
+        senders=["evaluator"],
+        receiver="param-server",
+        bytes_per_burst=megabytes(1),
+    )
+    return app
+
+
+def main() -> None:
+    app = declare_application()
+    print(f"app {app.name!r}: {len(app.components)} components, "
+          f"{len(app.incasts)} declared incasts")
+
+    # What the provider decides: the placement.
+    placement = {"workers": 0, "evaluator": 0, "param-server": 1}
+    planner = DeploymentPlanner(app, placement)
+    plan = planner.plan()
+
+    print("\ndeployment analysis:")
+    for planned in plan.planned:
+        verdict = "inter-DC -> proxy-assisted" if planned.crosses_datacenters else "intra-DC -> untouched"
+        print(f"  {planned.decl.name:<14} {verdict}")
+
+    transport = TransportConfig(payload_bytes=4096)
+    interdc = small_interdc_config()
+    direct = planner.execute(plan, proxied=False, interdc=interdc, transport=transport)
+    rewritten = planner.execute(plan, proxied=True, interdc=interdc, transport=transport)
+
+    print("\ngradient-push completion:")
+    print(f"  as deployed (direct)     : {format_duration(round(direct.mean_ict_ps))}")
+    print(f"  provider rewrite (proxy) : {format_duration(round(rewritten.mean_ict_ps))} "
+          f"(-{(direct.mean_ict_ps - rewritten.mean_ict_ps) / direct.mean_ict_ps * 100:.1f}%)")
+    print("\nThe application never changed: the abstraction carried enough")
+    print("information for the provider to convert the inter-DC incast into")
+    print("a proxy-assisted one at deployment time.")
+
+
+if __name__ == "__main__":
+    main()

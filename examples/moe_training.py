@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Mixture-of-Experts dispatch across datacenters (paper §2's ML motivation).
+
+Eight workers in datacenter 0 route token batches to experts sharded into
+datacenter 1 (Zipf-skewed gating, as real MoE layers exhibit).  Each expert
+becomes the receiver of a concurrent incast over the long-haul links.  We
+run the dispatch phase three ways — direct, through a single shared proxy,
+and with a per-incast proxy chosen by the central orchestrator — and report
+per-expert and aggregate completion.
+
+Run:  python examples/moe_training.py
+"""
+
+from __future__ import annotations
+
+from repro.config import TransportConfig, small_interdc_config
+from repro.orchestration import run_concurrent_incasts
+from repro.units import format_duration, megabytes
+from repro.workloads import MoEConfig, moe_dispatch_jobs
+
+
+def main() -> None:
+    moe = MoEConfig(
+        senders=4,
+        experts=3,
+        tokens_per_sender=1500,
+        token_bytes=4096,   # ~6 MB of activations per worker per step
+        zipf_skew=1.0,
+        seed=7,
+    )
+    jobs = moe_dispatch_jobs(moe)
+    total = sum(job.total_bytes for job in jobs)
+    print(f"MoE dispatch: {moe.senders} workers -> {moe.experts} remote experts, "
+          f"{total / 1e6:.1f} MB of token traffic in {len(jobs)} concurrent incasts")
+    for job in jobs:
+        print(f"  {job.name}: degree {job.degree}, {job.total_bytes / 1e6:.1f} MB")
+
+    transport = TransportConfig(payload_bytes=4096)
+    interdc = small_interdc_config()
+
+    print(f"\n{'strategy':<22} {'mean ICT':>12} {'makespan':>12} {'probes':>7}")
+    for scheme, strategy, label in (
+        ("baseline", "none", "direct (no proxy)"),
+        ("streamlined", "shared", "one shared proxy"),
+        ("streamlined", "central", "orchestrated proxies"),
+    ):
+        result = run_concurrent_incasts(
+            jobs, scheme=scheme, strategy=strategy,
+            interdc=interdc, transport=transport,
+        )
+        assert result.completed, "dispatch did not finish within the horizon"
+        print(f"{label:<22} {format_duration(round(result.mean_ict_ps)):>12} "
+              f"{format_duration(result.makespan_ps):>12} {result.probes:>7}")
+
+    print("\nEvery expert's incast benefits from a proxy; giving each incast")
+    print("its *own* proxy (FW#3 orchestration) removes the relay contention")
+    print("a single shared proxy would reintroduce.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Pattern-aware incast rerouting (paper §6, second research direction).
+
+ML training traffic is periodic: synchronization bursts recur every step.
+A cloud operator that *predicts* the next burst can stage a proxy before
+it starts; one that merely *detects* it reacts after the burst has already
+crossed the long-haul links.  This example:
+
+1. builds a synthetic per-step traffic series for an MoE job,
+2. estimates its period by autocorrelation and predicts the next burst,
+3. shows the reactive detector firing from per-destination flow counters,
+4. quantifies the payoff: the predicted burst runs proxied, the
+   unpredicted one runs direct.
+
+Run:  python examples/pattern_aware_rerouting.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import TransportConfig, small_interdc_config
+from repro.experiments.runner import IncastScenario, run_incast
+from repro.patterns import DetectorSettings, OnlineIncastDetector, PeriodicIncastPredictor
+from repro.units import format_duration, megabytes, microseconds, milliseconds
+from dataclasses import replace
+
+
+def synthesize_training_series(period: int, steps: int, seed: int = 0) -> np.ndarray:
+    """Per-bin egress bytes of a training job: quiet compute, sharp bursts."""
+    rng = np.random.default_rng(seed)
+    series = rng.normal(2.0, 0.4, period * steps).clip(min=0)  # background chatter
+    series[::period] += 60.0 + rng.normal(0, 4.0, steps)  # sync bursts
+    return series
+
+
+def main() -> None:
+    # -- 1+2: predict the next synchronization burst -------------------------
+    period_bins, steps = 50, 12
+    series = synthesize_training_series(period_bins, steps)
+    estimate = PeriodicIncastPredictor().estimate(series)
+    print("predictor:")
+    print(f"  true period      : {period_bins} bins")
+    print(f"  estimated period : {estimate.period_samples} bins "
+          f"(confidence {estimate.confidence:.2f})")
+    print(f"  next burst at bin: {estimate.next_burst_index} "
+          f"(series ends at {len(series) - 1})")
+    assert estimate.is_periodic
+
+    # -- 3: the reactive detector fires only once traffic converges ----------
+    detector = OnlineIncastDetector(DetectorSettings(
+        window_ps=milliseconds(1), min_sources=3, min_bytes=megabytes(1)))
+    t0 = microseconds(10)
+    event = None
+    for src in range(4):
+        event = detector.observe(t0 + src * 100, src=src, dst=0,
+                                 nbytes=megabytes(2)) or event
+    print("\nreactive detector:")
+    print(f"  fired: {event is not None}; sources seen: {event.sources}, "
+          f"window bytes: {event.window_bytes / 1e6:.0f} MB")
+    print(f"  detection lag vs burst start: "
+          f"{format_duration(event.time - t0)} (the burst is already in flight)")
+
+    # -- 4: the payoff of acting before the burst ----------------------------
+    scenario = IncastScenario(
+        degree=4,
+        total_bytes=megabytes(24),
+        interdc=small_interdc_config(),
+        transport=TransportConfig(payload_bytes=4096),
+    )
+    direct = run_incast(scenario)
+    proxied = run_incast(replace(scenario, scheme="streamlined"))
+    print("\nburst completion:")
+    print(f"  unpredicted (direct) : {format_duration(direct.ict_ps)}")
+    print(f"  predicted (proxied)  : {format_duration(proxied.ict_ps)} "
+          f"(-{(direct.ict_ps - proxied.ict_ps) / direct.ict_ps * 100:.1f}%)")
+
+    # -- 5: the closed loop: learn the rhythm, pre-stage the proxy -----------
+    from repro.patterns import ControllerConfig, PatternAwareController, run_pattern_aware
+    from repro.workloads import periodic_incasts
+
+    jobs = periodic_incasts(bursts=10, period_ps=milliseconds(60), degree=4,
+                            total_bytes=megabytes(16))
+    controller = PatternAwareController(
+        ControllerConfig(bin_ps=milliseconds(10), min_bursts=4))
+    loop = run_pattern_aware(jobs, small_interdc_config(),
+                             TransportConfig(payload_bytes=4096),
+                             controller=controller)
+    print("\nclosed loop over a 10-burst training run (period 60 ms):")
+    print(f"  learned period        : {format_duration(loop.learned_period_ps)}")
+    print(f"  bursts spent learning : {loop.learning_bursts} "
+          f"(ran direct, mean ICT "
+          f"{format_duration(round(loop.mean_ict_ps(loop.direct_jobs)))})")
+    print(f"  predicted bursts      : {len(loop.proxied_jobs)} "
+          f"(pre-staged proxy, mean ICT "
+          f"{format_duration(round(loop.mean_ict_ps(loop.proxied_jobs)))})")
+    print("\nPrediction buys the operator the whole proxy benefit; detection")
+    print("alone arrives after the first — most damaging — RTT of the burst.")
+
+
+if __name__ == "__main__":
+    main()

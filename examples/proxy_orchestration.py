@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Proxy selection across concurrent incasts (paper §5, Future Work #3).
+
+Three geo-replication write epochs (quorum flushes) hit datacenter 1
+simultaneously.  Every incast wants a proxy; the question is *which* server
+each one should use.  We compare no proxy, one shared proxy, the central
+least-loaded orchestrator, load-blind round-robin, and decentralized
+random probing — including the probing overhead the paper warns about.
+
+Run:  python examples/proxy_orchestration.py
+"""
+
+from __future__ import annotations
+
+from repro.config import TransportConfig, small_interdc_config
+from repro.orchestration import run_concurrent_incasts
+from repro.units import format_duration, megabytes
+from repro.workloads import uniform_incast
+
+
+def main() -> None:
+    jobs = [
+        uniform_incast(f"quorum{i}", degree=2, total_bytes=megabytes(12),
+                       receiver_index=i, sender_offset=i * 2)
+        for i in range(3)
+    ]
+    print(f"{len(jobs)} concurrent incasts, "
+          f"{sum(j.total_bytes for j in jobs) / 1e6:.0f} MB total\n")
+
+    transport = TransportConfig(payload_bytes=4096)
+    interdc = small_interdc_config()
+
+    print(f"{'strategy':<16} {'mean ICT':>12} {'makespan':>12} "
+          f"{'probes':>7} {'fallbacks':>10} {'proxies used':>13}")
+    for scheme, strategy in (
+        ("baseline", "none"),
+        ("streamlined", "shared"),
+        ("streamlined", "round-robin"),
+        ("streamlined", "central"),
+        ("streamlined", "decentralized"),
+    ):
+        result = run_concurrent_incasts(
+            jobs, scheme=scheme, strategy=strategy,
+            interdc=interdc, transport=transport,
+        )
+        assert result.completed
+        used = len(set(result.proxy_assignments.values()))
+        print(f"{strategy:<16} {format_duration(round(result.mean_ict_ps)):>12} "
+              f"{format_duration(result.makespan_ps):>12} {result.probes:>7} "
+              f"{result.fallbacks:>10} {used:>13}")
+
+    print("\nShared-proxy runs re-serialize all incasts through one 100G NIC;")
+    print("any strategy that spreads incasts across proxies recovers the full")
+    print("per-incast benefit.  Decentralized probing matches the central")
+    print("orchestrator here but pays per-incast probe round-trips.")
+
+
+if __name__ == "__main__":
+    main()

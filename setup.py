@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment lacks the ``wheel`` package, so PEP 517 editable
+installs fail; ``python setup.py develop`` (or
+``pip install -e . --no-build-isolation`` on newer toolchains) still works
+through this shim.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,60 @@
+"""repro — reproduction of "Mitigating Inter-datacenter Incast with a Proxy"
+(HotNets '25).
+
+A from-scratch packet-level datacenter network simulator plus the paper's
+three schemes (Baseline, Proxy-Naive, Proxy-Streamlined), a host-stack
+latency model standing in for the paper's eBPF testbed, and working
+versions of the paper's future-work directions (trimming-free loss
+detection, proxy orchestration, incast programming abstractions and
+pattern-aware detection).
+
+Quick start::
+
+    from repro import IncastScenario, run_incast, small_interdc_config
+    from repro.units import megabytes
+
+    scenario = IncastScenario(
+        scheme="streamlined", degree=4, total_bytes=megabytes(10),
+        interdc=small_interdc_config(),
+    )
+    result = run_incast(scenario)
+    print(f"incast completion time: {result.ict_ms:.2f} ms")
+"""
+
+from repro.config import (
+    FabricConfig,
+    InterDcConfig,
+    QueueSpec,
+    TransportConfig,
+    paper_interdc_config,
+    small_interdc_config,
+)
+from repro.experiments.runner import SCHEMES, IncastResult, IncastScenario, run_incast
+from repro.experiments.sweeps import degree_sweep, latency_sweep, size_sweep
+from repro.net.network import Network
+from repro.sim.simulator import Simulator
+from repro.topology.interdc import build_interdc
+from repro.transport.connection import Connection
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Connection",
+    "FabricConfig",
+    "IncastResult",
+    "IncastScenario",
+    "InterDcConfig",
+    "Network",
+    "QueueSpec",
+    "SCHEMES",
+    "Simulator",
+    "TransportConfig",
+    "__version__",
+    "build_interdc",
+    "degree_sweep",
+    "latency_sweep",
+    "paper_interdc_config",
+    "run_incast",
+    "size_sweep",
+    "small_interdc_config",
+]

@@ -1,0 +1,53 @@
+"""Top-level CLI: ``python -m repro <command>``.
+
+Commands:
+
+* ``figures``  — regenerate the paper's figures as text tables
+  (see ``python -m repro figures --help``);
+* ``verdicts`` — the automated claim-by-claim scorecard;
+* ``quickstart`` — the headline comparison, one table.
+"""
+
+from __future__ import annotations
+
+import sys
+
+
+def main(argv: list[str] | None = None) -> None:
+    """Dispatch to a subcommand."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    command = args.pop(0) if args else "quickstart"
+    if command == "figures":
+        from repro.experiments.figures import main as figures_main
+
+        figures_main(args)
+    elif command == "verdicts":
+        from repro.experiments.verdicts import main as verdicts_main
+
+        verdicts_main(args)
+    elif command == "quickstart":
+        from dataclasses import replace
+
+        from repro.config import TransportConfig
+        from repro.experiments.runner import IncastScenario, run_incast
+        from repro.config import small_interdc_config
+        from repro.units import format_duration, megabytes
+
+        scenario = IncastScenario(
+            degree=4,
+            total_bytes=megabytes(40),
+            interdc=small_interdc_config(),
+            transport=TransportConfig(payload_bytes=4096),
+        )
+        print(f"{'scheme':<14} {'ICT':>12}")
+        for scheme in ("baseline", "naive", "streamlined", "trimless"):
+            result = run_incast(replace(scenario, scheme=scheme))
+            print(f"{scheme:<14} {format_duration(result.ict_ps):>12}")
+    else:
+        print(f"unknown command {command!r}; try: figures, verdicts, quickstart",
+              file=sys.stderr)
+        raise SystemExit(2)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Incast programming abstraction (paper §6, "proxying through programming
+abstraction").
+
+Application developers declare their components and the incast-like
+communication among them (:mod:`repro.abstraction.annotations`); at
+deployment time the provider maps components onto datacenters and converts
+every *inter-datacenter* incast into a proxy-assisted one, transparently
+to the application (:mod:`repro.abstraction.deployment`).
+"""
+
+from repro.abstraction.annotations import AppGraph, Component, IncastDecl
+from repro.abstraction.deployment import DeploymentPlan, DeploymentPlanner, PlannedIncast
+
+__all__ = [
+    "AppGraph",
+    "Component",
+    "DeploymentPlan",
+    "DeploymentPlanner",
+    "IncastDecl",
+    "PlannedIncast",
+]

@@ -1,0 +1,91 @@
+"""The developer-facing declarations.
+
+The abstraction asks for the minimum that is both expressive and adoptable
+(the paper's stated design tension): an application is a set of named
+components plus ``declare_incast`` annotations saying "these components
+fan into that one, roughly this many bytes at a time".  Nothing about
+datacenters, addresses, or proxies appears at this layer — placement is
+the provider's job.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Component:
+    """One application component (a container / worker / shard)."""
+
+    name: str
+    replicas: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("component name must be non-empty")
+        if self.replicas < 1:
+            raise ConfigError(f"component {self.name!r} needs at least one replica")
+
+
+@dataclass(frozen=True)
+class IncastDecl:
+    """A declared many-to-one pattern among components."""
+
+    name: str
+    senders: tuple[str, ...]
+    receiver: str
+    bytes_per_burst: int
+    periodic: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.senders:
+            raise ConfigError(f"incast {self.name!r} needs at least one sender")
+        if self.receiver in self.senders:
+            raise ConfigError(f"incast {self.name!r}: receiver cannot also send")
+        if self.bytes_per_burst < 1:
+            raise ConfigError(f"incast {self.name!r}: bytes_per_burst must be positive")
+
+
+@dataclass
+class AppGraph:
+    """An application: components plus declared incast patterns."""
+
+    name: str
+    components: dict[str, Component] = field(default_factory=dict)
+    incasts: list[IncastDecl] = field(default_factory=list)
+
+    def add_component(self, name: str, replicas: int = 1) -> Component:
+        """Declare a component."""
+        if name in self.components:
+            raise ConfigError(f"component {name!r} already declared")
+        component = Component(name, replicas)
+        self.components[name] = component
+        return component
+
+    def declare_incast(
+        self,
+        name: str,
+        senders: list[str],
+        receiver: str,
+        bytes_per_burst: int,
+        periodic: bool = False,
+    ) -> IncastDecl:
+        """Declare that ``senders`` fan into ``receiver``.
+
+        This is the whole developer-facing API: which components converge,
+        where, and how much per burst — enough for the provider to decide
+        whether a deployment turns it into an inter-DC incast worth
+        proxying, without constraining placement.
+        """
+        for component in (*senders, receiver):
+            if component not in self.components:
+                raise ConfigError(f"incast {name!r} references unknown component {component!r}")
+        decl = IncastDecl(name, tuple(senders), receiver, bytes_per_burst, periodic)
+        self.incasts.append(decl)
+        return decl
+
+    def sender_instances(self, decl: IncastDecl) -> int:
+        """Total sending replicas of one declared incast."""
+        return sum(self.components[s].replicas for s in decl.senders)

@@ -1,0 +1,137 @@
+"""Deployment planning: turn declared incasts into proxy-assisted ones.
+
+Given an :class:`~repro.abstraction.annotations.AppGraph` and a placement
+of component replicas onto the two datacenters, the planner finds every
+declared incast whose senders and receiver end up in *different*
+datacenters and rewrites it to route through a proxy in the sending
+datacenter — "without requiring any changes or permission from the
+application" (paper §6).  The plan can then be executed on the simulator
+to compare the deployment with and without the rewrite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import InterDcConfig, TransportConfig, paper_interdc_config
+from repro.errors import ConfigError
+from repro.abstraction.annotations import AppGraph, IncastDecl
+from repro.orchestration.run import run_concurrent_incasts
+from repro.workloads.incast import IncastJob
+
+
+@dataclass(frozen=True)
+class PlannedIncast:
+    """One declared incast after placement analysis."""
+
+    decl: IncastDecl
+    crosses_datacenters: bool
+    job: IncastJob | None  # None when the incast stays intra-DC
+
+
+@dataclass
+class DeploymentPlan:
+    """The provider-side rewrite decision for one app deployment."""
+
+    app: str
+    planned: list[PlannedIncast] = field(default_factory=list)
+
+    @property
+    def interdc_incasts(self) -> list[PlannedIncast]:
+        """Incasts the rewrite applies to."""
+        return [p for p in self.planned if p.crosses_datacenters]
+
+    def jobs(self) -> list[IncastJob]:
+        """Executable jobs for every inter-DC incast."""
+        return [p.job for p in self.interdc_incasts if p.job is not None]
+
+
+class DeploymentPlanner:
+    """Maps replicas to datacenter slots and plans the proxy rewrite.
+
+    ``placement`` maps each component name to a datacenter (0 or 1); the
+    planner assigns replica slots deterministically: DC0 replicas take
+    consecutive sending-side server indices, DC1 replicas consecutive
+    receiving-side indices.
+    """
+
+    def __init__(self, graph: AppGraph, placement: dict[str, int]) -> None:
+        missing = set(graph.components) - set(placement)
+        if missing:
+            raise ConfigError(f"placement misses components: {sorted(missing)}")
+        invalid = {c: dc for c, dc in placement.items() if dc not in (0, 1)}
+        if invalid:
+            raise ConfigError(f"placement must map to datacenter 0 or 1, got {invalid}")
+        self.graph = graph
+        self.placement = placement
+        self._slots: dict[str, tuple[int, ...]] = {}
+        cursor = [0, 0]
+        for name, component in graph.components.items():
+            dc = placement[name]
+            start = cursor[dc]
+            self._slots[name] = tuple(range(start, start + component.replicas))
+            cursor[dc] += component.replicas
+
+    def slots(self, component: str) -> tuple[int, ...]:
+        """Server indices (within its datacenter) assigned to a component."""
+        return self._slots[component]
+
+    def plan(self) -> DeploymentPlan:
+        """Analyze every declared incast and build the rewrite plan."""
+        plan = DeploymentPlan(app=self.graph.name)
+        for decl in self.graph.incasts:
+            sender_dcs = {self.placement[s] for s in decl.senders}
+            receiver_dc = self.placement[decl.receiver]
+            crosses = sender_dcs != {receiver_dc}
+            job = None
+            if crosses:
+                if sender_dcs != {0} or receiver_dc != 1:
+                    raise ConfigError(
+                        f"incast {decl.name!r}: planner currently supports senders in "
+                        f"DC0 and receiver in DC1 (got senders in {sorted(sender_dcs)}, "
+                        f"receiver in DC{receiver_dc})"
+                    )
+                senders = tuple(
+                    slot for name in decl.senders for slot in self._slots[name]
+                )
+                per_flow, extra = divmod(decl.bytes_per_burst, len(senders))
+                flow_bytes = tuple(
+                    max(1, per_flow + (1 if i < extra else 0))
+                    for i in range(len(senders))
+                )
+                job = IncastJob(
+                    name=decl.name,
+                    sender_indices=senders,
+                    receiver_index=self._slots[decl.receiver][0],
+                    flow_bytes=flow_bytes,
+                )
+            plan.planned.append(
+                PlannedIncast(decl=decl, crosses_datacenters=crosses, job=job)
+            )
+        return plan
+
+    def execute(
+        self,
+        plan: DeploymentPlan,
+        proxied: bool = True,
+        scheme: str = "streamlined",
+        interdc: InterDcConfig | None = None,
+        transport: TransportConfig | None = None,
+        seed: int = 0,
+    ):
+        """Run the plan's inter-DC incasts on the simulator.
+
+        ``proxied=False`` executes the same jobs without the rewrite, for
+        before/after comparison.
+        """
+        jobs = plan.jobs()
+        if not jobs:
+            raise ConfigError(f"deployment {plan.app!r} has no inter-DC incasts to run")
+        return run_concurrent_incasts(
+            jobs,
+            scheme=scheme if proxied else "baseline",
+            strategy="central" if proxied else "none",
+            interdc=interdc if interdc is not None else paper_interdc_config(),
+            transport=transport,
+            seed=seed,
+        )

@@ -1,0 +1,133 @@
+"""Ground-truth evaluation of the gap loss detector.
+
+Synthesizes packet arrival streams with controlled reordering and loss,
+runs a :class:`~repro.detection.lossdetector.FlowTracker` over them, and
+scores the detector: false-positive rate (declared lost but actually just
+reordered), false-negative rate (lost but never declared), and detection
+latency.  This quantifies the paper's FW#1 questions — how much error the
+proxy tolerates and whether FPs or FNs dominate — under different
+reordering regimes and memory budgets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.detection.lossdetector import DetectorConfig, FlowTracker
+from repro.errors import WorkloadError
+from repro.units import microseconds
+
+
+@dataclass(frozen=True)
+class StreamEvent:
+    """One packet observation: arrival time and sequence number."""
+
+    time: int
+    seq: int
+
+
+def synthesize_stream(
+    packets: int,
+    *,
+    loss_rate: float,
+    reorder_rate: float,
+    reorder_depth: int,
+    inter_arrival_ps: int = microseconds(0.33),
+    seed: int = 0,
+) -> tuple[list[StreamEvent], set[int]]:
+    """Generate an arrival stream and the ground-truth set of lost seqs.
+
+    A fraction ``loss_rate`` of sequence numbers never arrives; a fraction
+    ``reorder_rate`` of the survivors is displaced ``1..reorder_depth``
+    positions later (per-packet spraying style displacement).
+    """
+    if packets <= 0:
+        raise WorkloadError("packets must be positive")
+    if not 0 <= loss_rate < 1 or not 0 <= reorder_rate <= 1:
+        raise WorkloadError("loss_rate must be in [0,1) and reorder_rate in [0,1]")
+    if reorder_depth < 0:
+        raise WorkloadError("reorder_depth must be non-negative")
+    rng = random.Random(seed)
+    lost = {seq for seq in range(packets) if rng.random() < loss_rate}
+    # Keep at least one survivor so the detector has something to chew on.
+    survivors = [seq for seq in range(packets) if seq not in lost] or [0]
+
+    positions: list[tuple[float, int]] = []
+    for index, seq in enumerate(survivors):
+        slot = float(index)
+        if reorder_depth and rng.random() < reorder_rate:
+            slot += rng.uniform(0.5, reorder_depth + 0.5)
+        positions.append((slot, seq))
+    positions.sort()
+    events = [
+        StreamEvent(time=round((order + 1) * inter_arrival_ps), seq=seq)
+        for order, (_, seq) in enumerate(positions)
+    ]
+    return events, lost
+
+
+@dataclass
+class DetectorEvaluation:
+    """Scores of one detector run against ground truth."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    detection_latencies_ps: list[int] = field(default_factory=list)
+
+    @property
+    def precision(self) -> float:
+        declared = self.true_positives + self.false_positives
+        return self.true_positives / declared if declared else 1.0
+
+    @property
+    def recall(self) -> float:
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+    @property
+    def mean_latency_ps(self) -> float:
+        lat = self.detection_latencies_ps
+        return sum(lat) / len(lat) if lat else 0.0
+
+
+def evaluate_detector(
+    events: list[StreamEvent],
+    lost: set[int],
+    cfg: DetectorConfig,
+    *,
+    final_flush: bool = True,
+) -> DetectorEvaluation:
+    """Run the detector over ``events`` and score it against ``lost``."""
+    declared: dict[int, int] = {}
+
+    def on_loss(seq: int, approx_ts: int) -> None:
+        declared.setdefault(seq, now_holder[0])
+
+    tracker = FlowTracker(cfg, on_loss)
+    now_holder = [0]
+    loss_moment: dict[int, int] = {}
+    highest = -1
+    for event in events:
+        now_holder[0] = event.time
+        # Ground-truth loss "happens" when the stream first skips past it.
+        if event.seq > highest:
+            for missing in range(highest + 1, event.seq):
+                if missing in lost:
+                    loss_moment.setdefault(missing, event.time)
+            highest = event.seq
+        tracker.on_data(event.seq, event.time, packet_ts=event.time, is_retransmit=False)
+    if final_flush and events:
+        now_holder[0] = events[-1].time + cfg.reorder_window_ps + 1
+        tracker.flush(now_holder[0])
+
+    result = DetectorEvaluation()
+    for seq, when in declared.items():
+        if seq in lost:
+            result.true_positives += 1
+            result.detection_latencies_ps.append(when - loss_moment.get(seq, when))
+        else:
+            result.false_positives += 1
+    result.false_negatives = sum(1 for seq in lost if seq not in declared and seq <= highest)
+    return result

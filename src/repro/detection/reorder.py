@@ -1,0 +1,61 @@
+"""Online reordering measurement.
+
+Packet spraying makes reordering the norm; how *deep* it runs decides how
+to tune the gap detector (paper §5 FW#1: routing, topology, and congestion
+control all shift the answer).  :class:`ReorderingEstimator` measures, per
+flow, the classic reorder-depth metric — for each late packet, how many
+packets with higher sequence numbers arrived before it — plus the fraction
+of late arrivals, from nothing but the arrival sequence.
+"""
+
+from __future__ import annotations
+
+
+class ReorderingEstimator:
+    """Streaming reorder-depth statistics for one flow."""
+
+    __slots__ = ("arrivals", "late", "max_depth", "_depth_sum", "_highest", "_pending")
+
+    def __init__(self) -> None:
+        self.arrivals = 0
+        self.late = 0
+        self.max_depth = 0
+        self._depth_sum = 0
+        self._highest = -1
+        # seq -> count of higher-seq packets that arrived before it did
+        self._pending: dict[int, int] = {}
+
+    def on_arrival(self, seq: int) -> None:
+        """Observe one data arrival."""
+        self.arrivals += 1
+        if seq > self._highest:
+            for missing in range(self._highest + 1, seq):
+                self._pending[missing] = 0
+            self._highest = seq
+            for key in self._pending:
+                self._pending[key] += 1
+            return
+        depth = self._pending.pop(seq, None)
+        if depth is None:
+            return  # duplicate
+        self.late += 1
+        self._depth_sum += depth
+        if depth > self.max_depth:
+            self.max_depth = depth
+        for key in self._pending:
+            self._pending[key] += 1
+
+    @property
+    def late_fraction(self) -> float:
+        """Fraction of arrivals that were reordered (arrived late)."""
+        return self.late / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def mean_depth(self) -> float:
+        """Mean reorder depth among late arrivals."""
+        return self._depth_sum / self.late if self.late else 0.0
+
+    @property
+    def outstanding(self) -> int:
+        """Sequence numbers still unaccounted for (late or lost)."""
+        return len(self._pending)

@@ -1,0 +1,54 @@
+"""Experiment harness: single incast runs, sweeps, and figure regeneration.
+
+* :mod:`repro.experiments.runner` — run one incast under one scheme.
+* :mod:`repro.experiments.sweeps` — the paper's three parameter sweeps
+  (incast degree, incast size, long-haul latency) with repetitions.
+* :mod:`repro.experiments.figures` — regenerate every paper figure as a
+  text table (``python -m repro.experiments.figures``).
+* :mod:`repro.experiments.report` — plain-text table rendering.
+"""
+
+from repro.experiments.cascade import (
+    CASCADE_SCHEMES,
+    CascadeResult,
+    CascadeScenario,
+    run_cascade,
+)
+from repro.experiments.convergence import (
+    ConvergenceResult,
+    compare_convergence,
+    measure_convergence,
+)
+from repro.experiments.runner import SCHEMES, IncastResult, IncastScenario, run_incast
+from repro.experiments.verdicts import Scorecard, Verdict, evaluate as evaluate_claims
+from repro.experiments.sweeps import (
+    SchemeSummary,
+    SweepPoint,
+    degree_sweep,
+    latency_sweep,
+    run_scheme_summary,
+    size_sweep,
+)
+
+__all__ = [
+    "CASCADE_SCHEMES",
+    "CascadeResult",
+    "CascadeScenario",
+    "ConvergenceResult",
+    "IncastResult",
+    "IncastScenario",
+    "SCHEMES",
+    "SchemeSummary",
+    "Scorecard",
+    "SweepPoint",
+    "Verdict",
+    "compare_convergence",
+    "degree_sweep",
+    "evaluate_claims",
+    "latency_sweep",
+    "measure_convergence",
+    "run_cascade",
+    "run_incast",
+    "run_scheme_summary",
+    "size_sweep",
+]

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for sweep results and CDFs."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.sweeps import SweepPoint
+from repro.units import format_duration
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Align ``rows`` under ``headers`` with simple padding."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def sweep_table(points: list[SweepPoint], schemes: Sequence[str]) -> str:
+    """One row per sweep point: mean [min, max] ICT per scheme + reductions."""
+    headers = ["point"]
+    for scheme in schemes:
+        headers.append(f"{scheme} ICT (mean [min,max])")
+        if scheme != "baseline":
+            headers.append(f"{scheme} vs base")
+    rows: list[list[str]] = []
+    for point in points:
+        row = [point.label]
+        for scheme in schemes:
+            summary = point.schemes[scheme]
+            row.append(
+                f"{format_duration(round(summary.ict.mean))} "
+                f"[{format_duration(round(summary.ict.minimum))}, "
+                f"{format_duration(round(summary.ict.maximum))}]"
+                + ("" if summary.all_completed else " (INCOMPLETE)")
+            )
+            if scheme != "baseline":
+                red = summary.reduction_vs_baseline
+                # negative sign = faster than baseline; positive = slower
+                row.append("n/a" if red is None else f"{-red * 100:+.1f}%")
+        rows.append(row)
+    return render_table(headers, rows)
+
+
+def average_reductions(points: list[SweepPoint], scheme: str) -> float:
+    """Mean fractional ICT reduction of ``scheme`` across all sweep points."""
+    reductions = [
+        p.schemes[scheme].reduction_vs_baseline
+        for p in points
+        if p.schemes[scheme].reduction_vs_baseline is not None
+    ]
+    return sum(reductions) / len(reductions) if reductions else 0.0

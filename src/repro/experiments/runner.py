@@ -1,0 +1,220 @@
+"""Run one inter-datacenter incast under one scheme.
+
+The runner reproduces the paper's §4.1 methodology: ``degree`` senders in
+datacenter 0 simultaneously transmit equal shares of ``total_bytes`` to a
+single receiver in datacenter 1.  Scheme selection:
+
+* ``baseline``    — senders transmit directly to the remote receiver;
+* ``naive``       — per-flow split connections through an in-DC proxy
+                    (:class:`~repro.proxy.naive.NaiveProxy`);
+* ``streamlined`` — end-to-end connections routed via the proxy with
+                    switch trimming enabled network-wide
+                    (:class:`~repro.proxy.streamlined.StreamlinedProxy`);
+* ``trimless``    — streamlined forwarding w/o trimming, detector-driven
+                    NACKs (§5 FW#1).
+
+Incast completion time (ICT) is measured at the *real* receiver: the time
+until the last byte of the last flow has arrived.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.config import InterDcConfig, TransportConfig, paper_interdc_config
+from repro.detection.lossdetector import DetectorConfig
+from repro.errors import ExperimentError
+from repro.metrics.collector import NetworkCounters, collect_network_counters
+from repro.proxy.naive import NaiveProxy
+from repro.proxy.placement import pick_proxy_host, pick_senders
+from repro.proxy.streamlined import StreamlinedProxy
+from repro.proxy.trimless import TrimlessStreamlinedProxy
+from repro.sim.simulator import Simulator
+from repro.topology.interdc import build_interdc
+from repro.transport.connection import Connection
+from repro.units import megabytes, seconds
+
+SCHEMES = ("baseline", "naive", "streamlined", "trimless")
+
+
+@dataclass(frozen=True)
+class IncastScenario:
+    """One incast experiment configuration."""
+
+    scheme: str = "baseline"
+    degree: int = 4
+    total_bytes: int = megabytes(100)
+    interdc: InterDcConfig = field(default_factory=paper_interdc_config)
+    transport: TransportConfig = field(default_factory=TransportConfig)
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+    seed: int = 0
+    horizon_ps: int = seconds(300)
+    routing: str = "spray"
+    proxy_delay_sampler: Callable[[], int] | None = None
+    #: long-lived cross-traffic flows sharing the fabric (0 = quiet fabric).
+    background_flows: int = 0
+    background_bytes: int = megabytes(500)
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ExperimentError(f"unknown scheme {self.scheme!r}; pick from {SCHEMES}")
+        if self.routing not in ("spray", "ecmp"):
+            raise ExperimentError(f"unknown routing {self.routing!r}")
+        if self.degree < 1:
+            raise ExperimentError("incast degree must be at least 1")
+        if self.total_bytes < self.degree:
+            raise ExperimentError("total_bytes must provide at least 1 byte per sender")
+        if self.background_flows < 0 or self.background_bytes < 1:
+            raise ExperimentError("background traffic parameters must be non-negative")
+
+    def flow_sizes(self) -> list[int]:
+        """Split the incast equally; earlier flows absorb the remainder."""
+        base, extra = divmod(self.total_bytes, self.degree)
+        return [base + (1 if i < extra else 0) for i in range(self.degree)]
+
+
+@dataclass
+class IncastResult:
+    """Outcome of one incast run."""
+
+    scenario: IncastScenario
+    ict_ps: int
+    flow_completion_ps: list[int]
+    completed: bool
+    events_executed: int
+    wall_seconds: float
+    counters: NetworkCounters
+    retransmissions: int
+    timeouts: int
+    nacks_received: int
+    marked_acks: int
+    proxy_nacks_sent: int
+
+    @property
+    def ict_ms(self) -> float:
+        """ICT in milliseconds."""
+        return self.ict_ps / 1e9
+
+
+def _start_background(sim, topo, scenario: IncastScenario, busy_hosts: set[int]) -> None:
+    """Launch long-lived cross-traffic flows between random idle host pairs.
+
+    Background flows mix intra-DC pairs (both directions) and cross-DC
+    pairs; they are sized to outlive the incast so the fabric stays busy
+    for the whole measurement.  They do not count toward completion.
+    """
+    rng = sim.rng.stream("background")
+    idle0 = [h for h in topo.fabrics[0].hosts if h.id not in busy_hosts]
+    idle1 = [h for h in topo.fabrics[1].hosts if h.id not in busy_hosts]
+    for i in range(scenario.background_flows):
+        pools = [(idle0, idle0), (idle1, idle1), (idle0, idle1), (idle1, idle0)]
+        src_pool, dst_pool = pools[i % len(pools)]
+        if len(src_pool) < 1 or len(dst_pool) < 1:
+            continue
+        src = src_pool[rng.randrange(len(src_pool))]
+        dst = dst_pool[rng.randrange(len(dst_pool))]
+        if src is dst:
+            continue
+        Connection(
+            topo.net, src, dst, scenario.background_bytes, scenario.transport,
+            label=f"bg{i}",
+        ).start()
+
+
+def run_incast(scenario: IncastScenario) -> IncastResult:
+    """Execute ``scenario`` and return its measurements."""
+    wall_start = time.perf_counter()
+    sim = Simulator(seed=scenario.seed)
+    trimming = scenario.scheme == "streamlined"
+    topo = build_interdc(
+        sim, scenario.interdc.with_trimming(trimming), routing=scenario.routing
+    )
+    net = topo.net
+
+    receiver = topo.fabrics[1].hosts[0]
+    senders = pick_senders(topo.fabrics[0], scenario.degree)
+    sizes = scenario.flow_sizes()
+
+    completions: list[int] = []
+    remaining = [scenario.degree]
+
+    def on_done(_receiver) -> None:
+        completions.append(sim.now)
+        remaining[0] -= 1
+        if remaining[0] == 0:
+            sim.stop()
+
+    senders_list = []  # WindowedSender endpoints, for stats
+    proxy_nacks = [0]
+
+    if scenario.scheme == "baseline":
+        for i, (host, size) in enumerate(zip(senders, sizes)):
+            conn = Connection(
+                net, host, receiver, size, scenario.transport,
+                on_receiver_complete=on_done, label=f"base{i}",
+            )
+            senders_list.append(conn.sender)
+            conn.start()
+    elif scenario.scheme == "naive":
+        proxy_host = pick_proxy_host(topo.fabrics[0], senders)
+        proxy = NaiveProxy(net, proxy_host, scenario.transport)
+        for i, (host, size) in enumerate(zip(senders, sizes)):
+            flow = proxy.relay(
+                host, receiver, size, on_receiver_complete=on_done, label=f"naive{i}"
+            )
+            senders_list.append(flow.inner.sender)
+            senders_list.append(flow.outer.sender)
+            flow.start()
+    else:  # streamlined / trimless
+        proxy_host = pick_proxy_host(topo.fabrics[0], senders)
+        if scenario.scheme == "streamlined":
+            proxy = StreamlinedProxy(
+                sim, proxy_host, processing_delay=scenario.proxy_delay_sampler
+            )
+        else:
+            proxy = TrimlessStreamlinedProxy(sim, proxy_host, scenario.detector)
+        for i, (host, size) in enumerate(zip(senders, sizes)):
+            conn = Connection(
+                net, host, receiver, size, scenario.transport,
+                via=(proxy_host,),
+                on_receiver_complete=on_done,
+                label=f"{scenario.scheme}{i}",
+            )
+            proxy.attach(conn)
+            senders_list.append(conn.sender)
+            conn.start()
+        proxy_nacks[0] = 0  # read back from proxy.stats after the run
+        proxy_ref = proxy
+
+    if scenario.background_flows:
+        _start_background(sim, topo, scenario, busy_hosts={
+            receiver.id, *(h.id for h in senders),
+            *([proxy_host.id] if scenario.scheme != "baseline" else []),
+        })
+
+    sim.run(until=scenario.horizon_ps)
+    completed = remaining[0] == 0
+    ict = max(completions) if completions and completed else scenario.horizon_ps
+
+    counters = collect_network_counters(net)
+    result = IncastResult(
+        scenario=scenario,
+        ict_ps=ict,
+        flow_completion_ps=sorted(completions),
+        completed=completed,
+        events_executed=sim.events_executed,
+        wall_seconds=time.perf_counter() - wall_start,
+        counters=counters,
+        retransmissions=sum(s.stats.retransmissions for s in senders_list),
+        timeouts=sum(s.stats.timeouts for s in senders_list),
+        nacks_received=sum(s.stats.nacks_received for s in senders_list),
+        marked_acks=sum(s.stats.marked_acks for s in senders_list),
+        proxy_nacks_sent=(
+            proxy_ref.stats.nacks_sent
+            if scenario.scheme in ("streamlined", "trimless")
+            else 0
+        ),
+    )
+    return result

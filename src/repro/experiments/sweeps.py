@@ -1,0 +1,134 @@
+"""The paper's parameter sweeps (§4.2).
+
+Each sweep point runs every scheme ``reps`` times with distinct seeds and
+summarizes incast completion time as average / minimum / maximum — exactly
+what Figures 2 and 3 plot — plus the reduction relative to the baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import IncastResult, IncastScenario, run_incast
+from repro.metrics.summary import SummaryStat, summarize
+
+
+@dataclass
+class SchemeSummary:
+    """One scheme's ICT summary at one sweep point."""
+
+    scheme: str
+    ict: SummaryStat
+    reduction_vs_baseline: float | None
+    retransmissions: float
+    timeouts: float
+    trims: float
+    drops: float
+    all_completed: bool
+
+    @property
+    def ict_ms(self) -> float:
+        """Mean ICT in milliseconds."""
+        return self.ict.mean / 1e9
+
+
+@dataclass
+class SweepPoint:
+    """All schemes' summaries at one x-axis value."""
+
+    x: float
+    label: str
+    schemes: dict[str, SchemeSummary]
+
+    def reduction(self, scheme: str) -> float | None:
+        """Fractional ICT reduction of ``scheme`` vs the baseline here."""
+        return self.schemes[scheme].reduction_vs_baseline
+
+
+def run_scheme_summary(
+    scenario: IncastScenario, reps: int, seed0: int = 0
+) -> tuple[SchemeSummary, list[IncastResult]]:
+    """Run ``scenario`` ``reps`` times (seeds ``seed0..``) and summarize."""
+    if reps < 1:
+        raise ExperimentError("reps must be at least 1")
+    results = [run_incast(replace(scenario, seed=seed0 + r)) for r in range(reps)]
+    icts = [r.ict_ps for r in results]
+    summary = SchemeSummary(
+        scheme=scenario.scheme,
+        ict=summarize(icts),
+        reduction_vs_baseline=None,
+        retransmissions=sum(r.retransmissions for r in results) / reps,
+        timeouts=sum(r.timeouts for r in results) / reps,
+        trims=sum(r.counters.packets_trimmed for r in results) / reps,
+        drops=sum(r.counters.packets_dropped for r in results) / reps,
+        all_completed=all(r.completed for r in results),
+    )
+    return summary, results
+
+
+def _sweep(
+    base: IncastScenario,
+    points: Iterable[tuple[float, str, IncastScenario]],
+    schemes: Sequence[str],
+    reps: int,
+) -> list[SweepPoint]:
+    sweep: list[SweepPoint] = []
+    for x, label, scenario in points:
+        summaries: dict[str, SchemeSummary] = {}
+        for scheme in schemes:
+            summary, _ = run_scheme_summary(replace(scenario, scheme=scheme), reps)
+            summaries[scheme] = summary
+        baseline = summaries.get("baseline")
+        if baseline is not None:
+            for scheme, summary in summaries.items():
+                if scheme != "baseline":
+                    summary.reduction_vs_baseline = summary.ict.reduction_vs(baseline.ict)
+        sweep.append(SweepPoint(x=x, label=label, schemes=summaries))
+    return sweep
+
+
+def degree_sweep(
+    base: IncastScenario,
+    degrees: Sequence[int],
+    schemes: Sequence[str] = ("baseline", "naive", "streamlined"),
+    reps: int = 5,
+) -> list[SweepPoint]:
+    """Figure 2 (Left): fixed total size, varying incast degree."""
+    points = (
+        (float(d), f"degree={d}", replace(base, degree=d)) for d in degrees
+    )
+    return _sweep(base, points, schemes, reps)
+
+
+def size_sweep(
+    base: IncastScenario,
+    sizes_bytes: Sequence[int],
+    schemes: Sequence[str] = ("baseline", "naive", "streamlined"),
+    reps: int = 5,
+) -> list[SweepPoint]:
+    """Figure 2 (Right): fixed degree, varying total incast size."""
+    points = (
+        (float(s), f"size={s / 1e6:g}MB", replace(base, total_bytes=s))
+        for s in sizes_bytes
+    )
+    return _sweep(base, points, schemes, reps)
+
+
+def latency_sweep(
+    base: IncastScenario,
+    backbone_delays_ps: Sequence[int],
+    schemes: Sequence[str] = ("baseline", "naive", "streamlined"),
+    reps: int = 5,
+) -> list[SweepPoint]:
+    """Figure 3: fixed degree and size, varying long-haul link latency."""
+    points = (
+        (
+            float(d),
+            f"link={d / 1e6:g}us",
+            replace(base, interdc=base.interdc.with_backbone_delay(d)),
+        )
+        for d in backbone_delays_ps
+    )
+    return _sweep(base, points, schemes, reps)

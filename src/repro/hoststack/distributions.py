@@ -1,0 +1,137 @@
+"""Latency distributions with percentile-based calibration.
+
+Host-stack latencies are classically long-tailed; we model stages as
+(shifted) lognormals parameterized directly by the statistics papers
+report — a median and a p99 — so calibrating a pipeline to published
+numbers is a matter of transcribing them.  For a lognormal,
+``sigma = ln(p99/median) / z99`` with ``z99 = Phi^-1(0.99)``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import ConfigError
+
+#: Phi^-1(0.99) — the standard normal 99th-percentile quantile.
+Z99 = 2.3263478740408408
+
+
+class LatencyDistribution:
+    """Interface: sample latencies in picoseconds."""
+
+    def sample(self, rng: random.Random) -> int:
+        """One latency draw (ps, non-negative)."""
+        raise NotImplementedError
+
+    def percentile(self, p: float) -> float:
+        """Analytic percentile in ps where available (used for calibration checks)."""
+        raise NotImplementedError
+
+
+class Constant(LatencyDistribution):
+    """A fixed latency."""
+
+    def __init__(self, value_ps: int) -> None:
+        if value_ps < 0:
+            raise ConfigError("latency must be non-negative")
+        self.value_ps = value_ps
+
+    def sample(self, rng: random.Random) -> int:
+        return self.value_ps
+
+    def percentile(self, p: float) -> float:
+        return float(self.value_ps)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Constant({self.value_ps}ps)"
+
+
+class Lognormal(LatencyDistribution):
+    """Shifted lognormal calibrated from (median, p99)."""
+
+    def __init__(self, median_ps: float, p99_ps: float, shift_ps: float = 0.0) -> None:
+        if median_ps <= 0 or p99_ps < median_ps:
+            raise ConfigError(
+                f"need 0 < median <= p99, got median={median_ps}, p99={p99_ps}"
+            )
+        if shift_ps < 0:
+            raise ConfigError("shift must be non-negative")
+        self.median_ps = median_ps
+        self.p99_ps = p99_ps
+        self.shift_ps = shift_ps
+        self._mu = math.log(median_ps - shift_ps) if median_ps > shift_ps else 0.0
+        body_median = median_ps - shift_ps
+        body_p99 = p99_ps - shift_ps
+        if body_median <= 0 or body_p99 <= 0:
+            raise ConfigError("shift must be below the median")
+        self._mu = math.log(body_median)
+        self._sigma = math.log(body_p99 / body_median) / Z99 if body_p99 > body_median else 0.0
+
+    def sample(self, rng: random.Random) -> int:
+        if self._sigma == 0.0:
+            return round(self.shift_ps + math.exp(self._mu))
+        return round(self.shift_ps + rng.lognormvariate(self._mu, self._sigma))
+
+    def percentile(self, p: float) -> float:
+        if not 0 < p < 100:
+            raise ConfigError("percentile must be in (0, 100)")
+        z = _norm_ppf(p / 100.0)
+        return self.shift_ps + math.exp(self._mu + self._sigma * z)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Lognormal(median={self.median_ps}ps, p99={self.p99_ps}ps)"
+
+
+class Mixture(LatencyDistribution):
+    """Weighted mixture of distributions (e.g. fast path + interrupt spikes)."""
+
+    def __init__(self, components: list[tuple[float, LatencyDistribution]]) -> None:
+        if not components:
+            raise ConfigError("mixture needs at least one component")
+        total = sum(w for w, _ in components)
+        if total <= 0 or any(w < 0 for w, _ in components):
+            raise ConfigError("mixture weights must be non-negative with positive sum")
+        self._components = [(w / total, d) for w, d in components]
+
+    def sample(self, rng: random.Random) -> int:
+        u = rng.random()
+        acc = 0.0
+        for weight, dist in self._components:
+            acc += weight
+            if u <= acc:
+                return dist.sample(rng)
+        return self._components[-1][1].sample(rng)
+
+    def percentile(self, p: float) -> float:
+        raise ConfigError("mixture percentiles are empirical; use measure_pipeline()")
+
+
+def _norm_ppf(q: float) -> float:
+    """Acklam's rational approximation of the standard normal quantile."""
+    # Coefficients for the central and tail regions.
+    a = (-3.969683028665376e01, 2.209460984245205e02, -2.759285104469687e02,
+         1.383577518672690e02, -3.066479806614716e01, 2.506628277459239e00)
+    b = (-5.447609879822406e01, 1.615858368580409e02, -1.556989798598866e02,
+         6.680131188771972e01, -1.328068155288572e01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e00,
+         -2.549732539343734e00, 4.374664141464968e00, 2.938163982698783e00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e00,
+         3.754408661907416e00)
+    plow, phigh = 0.02425, 1 - 0.02425
+    if q < plow:
+        t = math.sqrt(-2 * math.log(q))
+        return (((((c[0] * t + c[1]) * t + c[2]) * t + c[3]) * t + c[4]) * t + c[5]) / (
+            (((d[0] * t + d[1]) * t + d[2]) * t + d[3]) * t + 1
+        )
+    if q > phigh:
+        t = math.sqrt(-2 * math.log(1 - q))
+        return -(((((c[0] * t + c[1]) * t + c[2]) * t + c[3]) * t + c[4]) * t + c[5]) / (
+            (((d[0] * t + d[1]) * t + d[2]) * t + d[3]) * t + 1
+        )
+    t = q - 0.5
+    r = t * t
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * t / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1
+    )

@@ -1,0 +1,60 @@
+"""Measurement harness for latency pipelines.
+
+Mirrors the paper's methodology: generate a test load (the paper uses a
+30 s iperf run at 10 Gb/s line rate) through a pipeline and report the
+per-packet latency CDF.  Also exports :func:`sampler_for_sim`, the bridge
+that plugs a pipeline into the packet-level simulator as a per-packet
+proxy processing delay.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.hoststack.pipeline import LatencyPipeline
+from repro.metrics.cdf import EmpiricalCdf
+from repro.units import to_microseconds
+
+
+@dataclass
+class LatencyMeasurement:
+    """Samples + CDF of one pipeline run."""
+
+    pipeline: str
+    samples_ps: list[int]
+    cdf: EmpiricalCdf
+
+    def percentile_us(self, p: float) -> float:
+        """Percentile in microseconds."""
+        return to_microseconds(round(self.cdf.percentile(p)))
+
+    def table(self, percentiles=(1, 5, 25, 50, 75, 90, 95, 99, 99.9)) -> dict[float, float]:
+        """Percentile table in microseconds, ready to print."""
+        return {p: self.percentile_us(p) for p in percentiles}
+
+
+def measure_pipeline(
+    pipeline: LatencyPipeline, packets: int = 100_000, seed: int = 0
+) -> LatencyMeasurement:
+    """Draw ``packets`` per-packet latencies from ``pipeline``."""
+    if packets < 1:
+        raise ConfigError("packets must be at least 1")
+    rng = random.Random(seed)
+    samples = [pipeline.sample(rng) for _ in range(packets)]
+    return LatencyMeasurement(
+        pipeline=pipeline.name, samples_ps=samples, cdf=EmpiricalCdf(samples)
+    )
+
+
+def sampler_for_sim(pipeline: LatencyPipeline, seed: int = 0) -> Callable[[], int]:
+    """A zero-argument per-packet delay sampler for the simulator.
+
+    Pass the result as ``IncastScenario.proxy_delay_sampler`` (or directly
+    to :class:`~repro.proxy.streamlined.StreamlinedProxy`) to charge
+    realistic host-stack processing on every packet the proxy touches.
+    """
+    rng = random.Random(seed)
+    return lambda: pipeline.sample(rng)

@@ -1,0 +1,34 @@
+"""Composition of host-stack stages into per-packet latency pipelines."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.errors import ConfigError
+from repro.hoststack.components import Stage
+
+
+class LatencyPipeline:
+    """A sequence of stages; per-packet latency is the sum of stage draws."""
+
+    def __init__(self, name: str, stages: Sequence[Stage]) -> None:
+        if not stages:
+            raise ConfigError(f"pipeline {name!r} needs at least one stage")
+        self.name = name
+        self.stages = tuple(stages)
+
+    def sample(self, rng: random.Random) -> int:
+        """One end-to-end latency draw in picoseconds."""
+        return sum(stage.dist.sample(rng) for stage in self.stages)
+
+    def sample_breakdown(self, rng: random.Random) -> dict[str, int]:
+        """One draw with per-stage attribution (for reports)."""
+        return {stage.name: stage.dist.sample(rng) for stage in self.stages}
+
+    def stage_names(self) -> list[str]:
+        """Names of the stages in order."""
+        return [stage.name for stage in self.stages]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"LatencyPipeline({self.name!r}, {len(self.stages)} stages)"

@@ -1,0 +1,27 @@
+"""Measurement utilities: empirical CDFs, summary statistics, run collectors."""
+
+from repro.metrics.cdf import EmpiricalCdf
+from repro.metrics.collector import NetworkCounters, collect_network_counters
+from repro.metrics.export import (
+    write_cdf_csv,
+    write_sweep_csv,
+    write_sweep_json,
+    write_timeseries_csv,
+)
+from repro.metrics.summary import SummaryStat, jain_fairness, summarize
+from repro.metrics.timeseries import Sampler, TimeSeries
+
+__all__ = [
+    "EmpiricalCdf",
+    "NetworkCounters",
+    "Sampler",
+    "SummaryStat",
+    "TimeSeries",
+    "collect_network_counters",
+    "jain_fairness",
+    "summarize",
+    "write_cdf_csv",
+    "write_sweep_csv",
+    "write_sweep_json",
+    "write_timeseries_csv",
+]

@@ -1,0 +1,42 @@
+"""Packet-level network substrate.
+
+This package models the data plane the paper's simulations need:
+packets, serializing links, output ports, queue disciplines (drop-tail,
+RED/ECN-marking, NDP-style trimming), switches with pluggable routing
+(per-packet spraying or flow-hash ECMP), and hosts with a demultiplexing
+NIC.  The control plane — who sends what, when — lives in
+:mod:`repro.transport` and :mod:`repro.proxy`.
+"""
+
+from repro.net.network import Network
+from repro.net.node import Host, Node, Switch
+from repro.net.packet import Packet, PacketType
+from repro.net.port import OutputPort
+from repro.net.queues import (
+    DropTailQueue,
+    EcnQueue,
+    EnqueueOutcome,
+    HostQueue,
+    QueueStats,
+    TrimmingQueue,
+)
+from repro.net.routing import EcmpRouting, SprayRouting, build_next_hop_tables
+
+__all__ = [
+    "DropTailQueue",
+    "EcmpRouting",
+    "EcnQueue",
+    "EnqueueOutcome",
+    "Host",
+    "HostQueue",
+    "Network",
+    "Node",
+    "OutputPort",
+    "Packet",
+    "PacketType",
+    "QueueStats",
+    "SprayRouting",
+    "Switch",
+    "TrimmingQueue",
+    "build_next_hop_tables",
+]

@@ -1,0 +1,191 @@
+"""The network container: nodes, links, routing, path queries.
+
+:class:`Network` is the handle topology builders produce and everything
+else consumes.  It wires bidirectional links (two output ports with
+independent queue disciplines), finalizes routing tables, allocates flow
+ids, and answers path queries (minimum propagation delay, bottleneck rate)
+that transports use to size initial windows and timers.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Iterable
+
+from repro.errors import RoutingError, TopologyError
+from repro.net.node import Host, Node, Switch
+from repro.net.port import OutputPort
+from repro.net.routing import EcmpRouting, SprayRouting, build_next_hop_tables
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.simulator import Simulator
+
+
+class Network:
+    """A set of nodes and links sharing one simulator."""
+
+    def __init__(self, sim: "Simulator") -> None:
+        self.sim = sim
+        self.nodes: dict[int, Node] = {}
+        self.hosts: list[Host] = []
+        self.switches: list[Switch] = []
+        self.adjacency: dict[int, list[int]] = {}
+        self._edge_attrs: dict[tuple[int, int], tuple[float, int]] = {}
+        self._next_node_id = 0
+        self._next_flow_id = 0
+        self._finalized = False
+
+    # -- construction ---------------------------------------------------------
+
+    def add_host(self, name: str, dc: int = 0) -> Host:
+        """Create a host node."""
+        host = Host(self.sim, self._allocate_id(), name, dc)
+        self._register(host)
+        self.hosts.append(host)
+        return host
+
+    def add_switch(self, name: str, dc: int = 0) -> Switch:
+        """Create a switch node."""
+        switch = Switch(self.sim, self._allocate_id(), name, dc)
+        self._register(switch)
+        self.switches.append(switch)
+        return switch
+
+    def connect(
+        self,
+        a: Node,
+        b: Node,
+        rate_bps: float,
+        delay_ps: int,
+        queue_ab,
+        queue_ba,
+    ) -> None:
+        """Create a full-duplex link: port a->b with ``queue_ab`` and b->a with
+        ``queue_ba``.  Queues are discipline instances (see repro.net.queues).
+        """
+        if self._finalized:
+            raise TopologyError("cannot add links after finalize()")
+        if rate_bps <= 0 or delay_ps < 0:
+            raise TopologyError(
+                f"link {a.name}<->{b.name}: rate must be positive and delay "
+                f"non-negative (got {rate_bps}, {delay_ps})"
+            )
+        port_ab = OutputPort(self.sim, f"{a.name}->{b.name}", queue_ab, rate_bps, delay_ps, b)
+        port_ba = OutputPort(self.sim, f"{b.name}->{a.name}", queue_ba, rate_bps, delay_ps, a)
+        a.attach_port(b.id, port_ab)
+        b.attach_port(a.id, port_ba)
+        self.adjacency[a.id].append(b.id)
+        self.adjacency[b.id].append(a.id)
+        self._edge_attrs[(a.id, b.id)] = (rate_bps, delay_ps)
+        self._edge_attrs[(b.id, a.id)] = (rate_bps, delay_ps)
+
+    def finalize(self, routing: str = "spray") -> None:
+        """Build routing tables and install the chosen strategy on switches."""
+        tables = build_next_hop_tables(self.adjacency, [h.id for h in self.hosts])
+        if routing == "spray":
+            strategy: SprayRouting | EcmpRouting = SprayRouting(tables)
+        elif routing == "ecmp":
+            strategy = EcmpRouting(tables)
+        else:
+            raise TopologyError(f"unknown routing strategy {routing!r}")
+        for switch in self.switches:
+            switch.routing = strategy
+            switch.spray_rng = self.sim.rng.stream(f"spray:{switch.name}")
+        self._finalized = True
+
+    # -- identifiers ----------------------------------------------------------
+
+    def new_flow_id(self) -> int:
+        """Allocate a network-unique flow id."""
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        return flow_id
+
+    # -- path queries ----------------------------------------------------------
+
+    def min_delay_ps(self, src_id: int, dst_id: int) -> int:
+        """Minimum one-way propagation delay between two nodes (Dijkstra)."""
+        if src_id == dst_id:
+            return 0
+        best = {src_id: 0}
+        heap = [(0, src_id)]
+        while heap:
+            delay, node = heapq.heappop(heap)
+            if node == dst_id:
+                return delay
+            if delay > best.get(node, delay):
+                continue
+            for neighbor in self.adjacency[node]:
+                candidate = delay + self._edge_attrs[(node, neighbor)][1]
+                if candidate < best.get(neighbor, candidate + 1):
+                    best[neighbor] = candidate
+                    heapq.heappush(heap, (candidate, neighbor))
+        raise RoutingError(f"nodes {src_id} and {dst_id} are not connected")
+
+    def path_rtt_ps(self, src_id: int, dst_id: int, via: Iterable[int] = ()) -> int:
+        """Round-trip propagation delay along ``src -> via... -> dst -> via... -> src``."""
+        stops = [src_id, *via, dst_id]
+        one_way = sum(
+            self.min_delay_ps(stops[i], stops[i + 1]) for i in range(len(stops) - 1)
+        )
+        return 2 * one_way
+
+    def bottleneck_rate_bps(self, src_id: int, dst_id: int) -> float:
+        """Bottleneck (minimum) link rate on a minimum-delay path.
+
+        In the uniform-rate fabrics this library builds, every path shares
+        the same rate; we conservatively return the minimum edge rate
+        adjacent to either endpoint.
+        """
+        rates = [self._edge_attrs[(src_id, n)][0] for n in self.adjacency[src_id]]
+        rates += [self._edge_attrs[(dst_id, n)][0] for n in self.adjacency[dst_id]]
+        if not rates:
+            raise RoutingError(f"node {src_id} or {dst_id} has no links")
+        return min(rates)
+
+    # -- failure injection -------------------------------------------------------
+
+    def set_link_state(self, a_id: int, b_id: int, up: bool) -> None:
+        """Bring both directions of the a<->b link up or down, immediately.
+
+        Routing tables are static: a downed link models transient loss that
+        transports must absorb (RTO/RACK), not control-plane reconvergence.
+        """
+        try:
+            port_ab = self.nodes[a_id].ports[b_id]
+            port_ba = self.nodes[b_id].ports[a_id]
+        except KeyError:
+            raise TopologyError(f"no link between nodes {a_id} and {b_id}") from None
+        port_ab.set_up(up)
+        port_ba.set_up(up)
+
+    def fail_link(self, a_id: int, b_id: int, at_ps: int, duration_ps: int) -> None:
+        """Schedule a transient failure of the a<->b link."""
+        if duration_ps <= 0:
+            raise TopologyError("failure duration must be positive")
+        self.set_link_state(a_id, b_id, True)  # validates the link exists
+        self.sim.schedule_at(at_ps, lambda: self.set_link_state(a_id, b_id, False))
+        self.sim.schedule_at(
+            at_ps + duration_ps, lambda: self.set_link_state(a_id, b_id, True)
+        )
+
+    def fail_host(self, host_id: int, at_ps: int, duration_ps: int) -> None:
+        """Schedule a transient failure of a host (its access link)."""
+        host = self.nodes.get(host_id)
+        if host is None or not isinstance(host, Host):
+            raise TopologyError(f"node {host_id} is not a host")
+        (leaf_id,) = self.adjacency[host_id]
+        self.fail_link(host_id, leaf_id, at_ps, duration_ps)
+
+    # -- internals --------------------------------------------------------------
+
+    def _allocate_id(self) -> int:
+        node_id = self._next_node_id
+        self._next_node_id += 1
+        return node_id
+
+    def _register(self, node: Node) -> None:
+        if self._finalized:
+            raise TopologyError("cannot add nodes after finalize()")
+        self.nodes[node.id] = node
+        self.adjacency[node.id] = []

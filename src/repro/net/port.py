@@ -1,0 +1,123 @@
+"""Output ports: queue + serializing link.
+
+A port owns one queue discipline and one unidirectional link (rate +
+propagation delay).  Store-and-forward semantics: the head packet is
+dequeued when transmission starts, finishes serializing after
+``size * 8 / rate``, and arrives at the far node one propagation delay
+after that.  The next packet may start serializing the instant the
+previous one finishes.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import TYPE_CHECKING
+
+from repro.net.packet import Packet
+from repro.net.queues import EnqueueOutcome
+from repro.units import PS_PER_S
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+    from repro.sim.simulator import Simulator
+
+
+class OutputPort:
+    """A serializing output port feeding one downstream node."""
+
+    __slots__ = (
+        "sim",
+        "name",
+        "queue",
+        "rate_bps",
+        "delay_ps",
+        "dst_node",
+        "busy",
+        "up",
+        "tx_packets",
+        "tx_bytes",
+        "dropped_while_down",
+        "_ps_per_byte",
+    )
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        name: str,
+        queue,
+        rate_bps: float,
+        delay_ps: int,
+        dst_node: "Node",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.queue = queue
+        self.rate_bps = rate_bps
+        self.delay_ps = delay_ps
+        self.dst_node = dst_node
+        self.busy = False
+        self.up = True
+        self.tx_packets = 0
+        self.tx_bytes = 0
+        self.dropped_while_down = 0
+        # Pre-computed serialization cost; exact (80 ps/B) at 100 Gb/s.
+        self._ps_per_byte = 8 * PS_PER_S / rate_bps
+
+    def send(self, packet: Packet) -> EnqueueOutcome:
+        """Offer ``packet`` to the queue and kick the service loop."""
+        if not self.up:
+            self.dropped_while_down += 1
+            if self.sim.tracer.enabled:
+                self.sim.trace(self.name, "drop-down", flow=packet.flow_id, seq=packet.seq)
+            return EnqueueOutcome.DROPPED
+        outcome = self.queue.offer(packet)
+        if outcome is EnqueueOutcome.DROPPED:
+            if self.sim.tracer.enabled:
+                self.sim.trace(self.name, "drop", flow=packet.flow_id, seq=packet.seq)
+        else:
+            if outcome is EnqueueOutcome.TRIMMED and self.sim.tracer.enabled:
+                self.sim.trace(self.name, "trim", flow=packet.flow_id, seq=packet.seq)
+            if not self.busy:
+                self._start_service()
+        return outcome
+
+    def _start_service(self) -> None:
+        packet = self.queue.pop()
+        if packet is None:
+            self.busy = False
+            return
+        self.busy = True
+        tx_delay = round(packet.size_bytes * self._ps_per_byte)
+        self.sim.schedule(tx_delay, partial(self._tx_done, packet))
+
+    def _tx_done(self, packet: Packet) -> None:
+        if not self.up:
+            # The link died mid-flight: the packet is lost on the wire and
+            # the port goes quiet until it comes back up.
+            self.busy = False
+            return
+        self.tx_packets += 1
+        self.tx_bytes += packet.size_bytes
+        self.sim.schedule(self.delay_ps, partial(self.dst_node.receive, packet))
+        if self.queue.is_empty:
+            self.busy = False
+        else:
+            self._start_service()
+
+    def set_up(self, up: bool) -> None:
+        """Bring the port up or down (failure injection).
+
+        While down, every offered packet is dropped and any packet mid-
+        serialization is lost.  Bringing the port back up resumes service
+        of whatever survived in the queue.
+        """
+        if self.up == up:
+            return
+        self.up = up
+        if up and not self.busy and not self.queue.is_empty:
+            self._start_service()
+
+    @property
+    def backlog_bytes(self) -> int:
+        """Bytes currently waiting in this port's queue."""
+        return self.queue.occupied_bytes

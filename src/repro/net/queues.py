@@ -1,0 +1,311 @@
+"""Queue disciplines for output ports.
+
+Four disciplines cover everything the paper's setups need:
+
+* :class:`DropTailQueue` — plain FIFO with a byte limit.
+* :class:`EcnQueue` — FIFO with RED-style ECN marking: packets are marked
+  with linearly increasing probability between a low and a high occupancy
+  threshold, and always above the high threshold (the paper's DCTCP-like
+  setup: 33.2 KB / 136.95 KB at leaf and spine ports, 9.96 MB / 39.84 MB at
+  backbone ports).
+* :class:`TrimmingQueue` — EcnQueue behaviour for payloads plus NDP-style
+  packet trimming: a data packet that would overflow is cut to its header
+  and re-queued on a strict-priority control queue, alongside ACKs and
+  NACKs.  Used by the *Streamlined* proxy scheme.
+* :class:`HostQueue` — the NIC queue of an end host: a large FIFO with an
+  optional strict-priority lane for control packets, so a busy proxy NIC
+  does not bury its own ACKs/NACKs behind relayed payloads.
+
+All disciplines share the ``offer``/``pop`` interface and count their own
+statistics; ports translate outcomes into traces.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from enum import IntEnum
+
+from repro.net.packet import Packet
+
+
+class EnqueueOutcome(IntEnum):
+    """What happened to a packet offered to a queue."""
+
+    ENQUEUED = 0
+    DROPPED = 1
+    TRIMMED = 2
+
+
+class QueueStats:
+    """Counters every queue maintains."""
+
+    __slots__ = (
+        "enqueued",
+        "dequeued",
+        "dropped",
+        "trimmed",
+        "marked",
+        "dropped_bytes",
+        "max_occupied_bytes",
+    )
+
+    def __init__(self) -> None:
+        self.enqueued = 0
+        self.dequeued = 0
+        self.dropped = 0
+        self.trimmed = 0
+        self.marked = 0
+        self.dropped_bytes = 0
+        self.max_occupied_bytes = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot for reports."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class DropTailQueue:
+    """FIFO with a byte-capacity limit."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"queue capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.occupied_bytes = 0
+        self.stats = QueueStats()
+        self._fifo: deque[Packet] = deque()
+
+    def offer(self, packet: Packet) -> EnqueueOutcome:
+        """Accept or drop ``packet``."""
+        if self.occupied_bytes + packet.size_bytes > self.capacity_bytes:
+            self.stats.dropped += 1
+            self.stats.dropped_bytes += packet.size_bytes
+            return EnqueueOutcome.DROPPED
+        self._push(packet)
+        return EnqueueOutcome.ENQUEUED
+
+    def pop(self) -> Packet | None:
+        """Remove and return the head packet, or None when empty."""
+        if not self._fifo:
+            return None
+        packet = self._fifo.popleft()
+        self.occupied_bytes -= packet.size_bytes
+        self.stats.dequeued += 1
+        return packet
+
+    def _push(self, packet: Packet) -> None:
+        self._fifo.append(packet)
+        self.occupied_bytes += packet.size_bytes
+        self.stats.enqueued += 1
+        if self.occupied_bytes > self.stats.max_occupied_bytes:
+            self.stats.max_occupied_bytes = self.occupied_bytes
+
+    def __len__(self) -> int:
+        return len(self._fifo)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._fifo
+
+
+class EcnQueue(DropTailQueue):
+    """Drop-tail FIFO with RED-style ECN marking of DATA packets.
+
+    The marking decision happens at enqueue time against the instantaneous
+    occupancy, which is how htsim's random-early-marking queues behave.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        ecn_low_bytes: int,
+        ecn_high_bytes: int,
+        rng: random.Random,
+    ) -> None:
+        super().__init__(capacity_bytes)
+        if not 0 <= ecn_low_bytes <= ecn_high_bytes:
+            raise ValueError(
+                f"ECN thresholds must satisfy 0 <= low <= high, got "
+                f"{ecn_low_bytes}/{ecn_high_bytes}"
+            )
+        self.ecn_low_bytes = ecn_low_bytes
+        self.ecn_high_bytes = ecn_high_bytes
+        self._rng = rng
+
+    def offer(self, packet: Packet) -> EnqueueOutcome:
+        if self.occupied_bytes + packet.size_bytes > self.capacity_bytes:
+            self.stats.dropped += 1
+            self.stats.dropped_bytes += packet.size_bytes
+            return EnqueueOutcome.DROPPED
+        if not packet.is_control:
+            self._maybe_mark(packet, self.occupied_bytes)
+        self._push(packet)
+        return EnqueueOutcome.ENQUEUED
+
+    def _maybe_mark(self, packet: Packet, occupancy: int) -> None:
+        if occupancy <= self.ecn_low_bytes:
+            return
+        if occupancy >= self.ecn_high_bytes:
+            packet.ecn_ce = True
+            self.stats.marked += 1
+            return
+        span = self.ecn_high_bytes - self.ecn_low_bytes
+        probability = (occupancy - self.ecn_low_bytes) / span
+        if self._rng.random() < probability:
+            packet.ecn_ce = True
+            self.stats.marked += 1
+
+
+class TrimmingQueue:
+    """ECN-marking data queue plus a strict-priority control queue with trimming.
+
+    Control packets (ACKs, NACKs, already-trimmed headers) go straight to the
+    control lane.  Data packets are ECN-marked against the data occupancy;
+    a data packet that would overflow the data lane is trimmed to its header
+    and re-offered to the control lane (NDP-style).  Only a full control lane
+    actually drops.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        ecn_low_bytes: int,
+        ecn_high_bytes: int,
+        rng: random.Random,
+        control_capacity_bytes: int = 2_000_000,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"queue capacity must be positive, got {capacity_bytes}")
+        if not 0 <= ecn_low_bytes <= ecn_high_bytes:
+            raise ValueError(
+                f"ECN thresholds must satisfy 0 <= low <= high, got "
+                f"{ecn_low_bytes}/{ecn_high_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.control_capacity_bytes = control_capacity_bytes
+        self.ecn_low_bytes = ecn_low_bytes
+        self.ecn_high_bytes = ecn_high_bytes
+        self.occupied_bytes = 0  # data + control, for port-level accounting
+        self.data_bytes = 0
+        self.control_bytes = 0
+        self.stats = QueueStats()
+        self._rng = rng
+        self._data: deque[Packet] = deque()
+        self._control: deque[Packet] = deque()
+
+    def offer(self, packet: Packet) -> EnqueueOutcome:
+        """Enqueue, trim, or drop ``packet``."""
+        if packet.is_control:
+            return self._offer_control(packet, EnqueueOutcome.ENQUEUED)
+        if self.data_bytes + packet.size_bytes > self.capacity_bytes:
+            packet.trim()
+            self.stats.trimmed += 1
+            return self._offer_control(packet, EnqueueOutcome.TRIMMED)
+        self._maybe_mark(packet)
+        self._data.append(packet)
+        self.data_bytes += packet.size_bytes
+        self._account_enqueue(packet)
+        return EnqueueOutcome.ENQUEUED
+
+    def pop(self) -> Packet | None:
+        """Dequeue, control lane first."""
+        if self._control:
+            packet = self._control.popleft()
+            self.control_bytes -= packet.size_bytes
+        elif self._data:
+            packet = self._data.popleft()
+            self.data_bytes -= packet.size_bytes
+        else:
+            return None
+        self.occupied_bytes -= packet.size_bytes
+        self.stats.dequeued += 1
+        return packet
+
+    def _offer_control(self, packet: Packet, outcome: EnqueueOutcome) -> EnqueueOutcome:
+        if self.control_bytes + packet.size_bytes > self.control_capacity_bytes:
+            self.stats.dropped += 1
+            self.stats.dropped_bytes += packet.size_bytes
+            return EnqueueOutcome.DROPPED
+        self._control.append(packet)
+        self.control_bytes += packet.size_bytes
+        self._account_enqueue(packet)
+        return outcome
+
+    def _account_enqueue(self, packet: Packet) -> None:
+        self.occupied_bytes += packet.size_bytes
+        self.stats.enqueued += 1
+        if self.occupied_bytes > self.stats.max_occupied_bytes:
+            self.stats.max_occupied_bytes = self.occupied_bytes
+
+    def _maybe_mark(self, packet: Packet) -> None:
+        occupancy = self.data_bytes
+        if occupancy <= self.ecn_low_bytes:
+            return
+        if occupancy >= self.ecn_high_bytes:
+            packet.ecn_ce = True
+            self.stats.marked += 1
+            return
+        span = self.ecn_high_bytes - self.ecn_low_bytes
+        if self._rng.random() < (occupancy - self.ecn_low_bytes) / span:
+            packet.ecn_ce = True
+            self.stats.marked += 1
+
+    def __len__(self) -> int:
+        return len(self._data) + len(self._control)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._data and not self._control
+
+
+class HostQueue:
+    """An end-host NIC queue: big FIFO, optional control-priority lane."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = 1_000_000_000,
+        control_priority: bool = True,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(f"queue capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self.control_priority = control_priority
+        self.occupied_bytes = 0
+        self.stats = QueueStats()
+        self._data: deque[Packet] = deque()
+        self._control: deque[Packet] = deque()
+
+    def offer(self, packet: Packet) -> EnqueueOutcome:
+        """Accept or drop ``packet`` (hosts drop only when out of memory)."""
+        if self.occupied_bytes + packet.size_bytes > self.capacity_bytes:
+            self.stats.dropped += 1
+            self.stats.dropped_bytes += packet.size_bytes
+            return EnqueueOutcome.DROPPED
+        if self.control_priority and packet.is_control:
+            self._control.append(packet)
+        else:
+            self._data.append(packet)
+        self.occupied_bytes += packet.size_bytes
+        self.stats.enqueued += 1
+        if self.occupied_bytes > self.stats.max_occupied_bytes:
+            self.stats.max_occupied_bytes = self.occupied_bytes
+        return EnqueueOutcome.ENQUEUED
+
+    def pop(self) -> Packet | None:
+        """Dequeue, control lane first when priority is enabled."""
+        if self._control:
+            packet = self._control.popleft()
+        elif self._data:
+            packet = self._data.popleft()
+        else:
+            return None
+        self.occupied_bytes -= packet.size_bytes
+        self.stats.dequeued += 1
+        return packet
+
+    def __len__(self) -> int:
+        return len(self._data) + len(self._control)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._data and not self._control

@@ -1,0 +1,99 @@
+"""Routing strategies and next-hop table construction.
+
+Tables are built once, after the topology is wired: for every destination
+host we BFS outward and record, at each node, the set of neighbors lying on
+a shortest (hop-count) path.  Strategies then choose among those neighbors:
+
+* :class:`SprayRouting` — uniform random choice **per packet** (the paper's
+  packet spraying);
+* :class:`EcmpRouting` — deterministic hash of the flow id, i.e. per-flow
+  ECMP, kept for ablations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING
+
+from repro.errors import RoutingError
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Switch
+
+NextHopTable = dict[int, dict[int, tuple[int, ...]]]
+
+
+def build_next_hop_tables(
+    adjacency: dict[int, list[int]],
+    destination_ids: list[int],
+) -> NextHopTable:
+    """Compute equal-cost next hops toward every destination host.
+
+    Returns ``tables[node_id][destination_id] -> tuple(neighbor ids)``,
+    containing an entry for every node that can reach the destination.
+    """
+    tables: NextHopTable = {node: {} for node in adjacency}
+    for dst in destination_ids:
+        distance = {dst: 0}
+        frontier = deque([dst])
+        while frontier:
+            node = frontier.popleft()
+            d = distance[node]
+            for neighbor in adjacency[node]:
+                if neighbor not in distance:
+                    distance[neighbor] = d + 1
+                    frontier.append(neighbor)
+        for node, neighbors in adjacency.items():
+            if node == dst or node not in distance:
+                continue
+            here = distance[node]
+            hops = tuple(n for n in neighbors if distance.get(n, here) == here - 1)
+            if hops:
+                tables[node][dst] = hops
+    return tables
+
+
+class RoutingStrategy:
+    """Chooses the next hop for a packet at a switch."""
+
+    def __init__(self, tables: NextHopTable) -> None:
+        self._tables = tables
+
+    def candidates(self, switch: "Switch", packet: Packet) -> tuple[int, ...]:
+        """Equal-cost next hops for this packet at this switch."""
+        try:
+            return self._tables[switch.id][packet.dst]
+        except KeyError:
+            raise RoutingError(
+                f"switch {switch.name} has no route to node {packet.dst}"
+            ) from None
+
+    def next_hop(self, switch: "Switch", packet: Packet) -> int:
+        raise NotImplementedError
+
+
+class SprayRouting(RoutingStrategy):
+    """Per-packet spraying: uniform random pick among equal-cost hops."""
+
+    def next_hop(self, switch: "Switch", packet: Packet) -> int:
+        options = self.candidates(switch, packet)
+        if len(options) == 1:
+            return options[0]
+        rng = switch.spray_rng
+        assert rng is not None, "finalize() assigns spray RNGs"
+        return options[rng.randrange(len(options))]
+
+
+class EcmpRouting(RoutingStrategy):
+    """Per-flow ECMP: a flow always hashes to the same equal-cost hop."""
+
+    #: Knuth multiplicative-hash constant; any odd 32-bit constant works.
+    _HASH_MULT = 2654435761
+
+    def next_hop(self, switch: "Switch", packet: Packet) -> int:
+        options = self.candidates(switch, packet)
+        if len(options) == 1:
+            return options[0]
+        index = ((packet.flow_id * self._HASH_MULT) ^ switch.id) % len(options)
+        return options[index]

@@ -1,0 +1,31 @@
+"""Proxy orchestration across concurrent incasts (paper §5, Future Work #3).
+
+The paper's open questions: proxies must be selected quickly, avoid
+contention with other incasts, and selection can be centralized (a global
+orchestrator with fresh load state) or decentralized (repeated trials by
+each incast, trading selection latency for probe overhead).  This package
+provides both, plus the bookkeeping registry and pluggable policies, and a
+runner that executes many concurrent incasts under a chosen strategy so
+the trade-offs are measurable.
+"""
+
+from repro.orchestration.admission import AdmissionDecision, ProxyAdmissionPolicy
+from repro.orchestration.state import ProxyInfo, ProxyRegistry
+from repro.orchestration.policies import least_bytes, least_loaded, make_round_robin
+from repro.orchestration.central import CentralOrchestrator
+from repro.orchestration.decentralized import DecentralizedSelector
+from repro.orchestration.run import MultiIncastResult, run_concurrent_incasts
+
+__all__ = [
+    "AdmissionDecision",
+    "CentralOrchestrator",
+    "DecentralizedSelector",
+    "MultiIncastResult",
+    "ProxyAdmissionPolicy",
+    "ProxyInfo",
+    "ProxyRegistry",
+    "least_bytes",
+    "least_loaded",
+    "make_round_robin",
+    "run_concurrent_incasts",
+]

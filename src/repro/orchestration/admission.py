@@ -1,0 +1,114 @@
+"""Which incasts should be routed through a proxy? (paper §5, FW#3)
+
+The paper: "as shown in Figure 2 (Right), not all incasts benefit from
+using a proxy and future work needs to understand how to identify incasts
+that should be routed through a proxy."  Figures 2 (Right) and 3 give the
+two crossovers, and both are predictable from first principles:
+
+* **size**: during the first-RTT burst the receiver's down-ToR drains at
+  the bottleneck rate while ``degree`` senders fill it at their aggregate
+  rate, so it must buffer ``burst x (1 - 1/degree)`` bytes (burst = each
+  flow's first-RTT volume, capped by its 1-BDP initial window).  If that
+  fits the buffer, no loss occurs, every scheme is on par, and the proxy
+  hop is pure overhead — with the paper's 17.015 MB buffers and degree 4
+  this lands the crossover exactly at the paper's 20 MB;
+* **latency**: when the inter-DC feedback loop is not meaningfully longer
+  than the intra-DC one, shortening it buys nothing.
+
+:class:`ProxyAdmissionPolicy` encodes exactly those two tests so an
+orchestrator can gate proxy assignment per incast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OrchestrationError
+from repro.units import bandwidth_delay_product_bytes
+from repro.workloads.incast import IncastJob
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The verdict plus the evidence, for logs and tests."""
+
+    use_proxy: bool
+    reason: str
+    overload_bytes: int  # first-RTT bytes beyond what the path absorbs
+    rtt_ratio: float  # inter-DC RTT / intra-DC RTT
+
+
+@dataclass(frozen=True)
+class ProxyAdmissionPolicy:
+    """Crossover-based gating of proxy assignment.
+
+    ``headroom`` scales the no-loss budget (BDP + bottleneck buffer); an
+    incast must exceed it before the proxy is worth the hop.
+    ``min_rtt_ratio`` is the minimum inter/intra RTT ratio at which the
+    feedback-loop shortening is material (Fig. 3's ~100 µs onset is a
+    ratio of ~25 over the ~4 µs intra-DC base in the paper's topology).
+    """
+
+    headroom: float = 1.0
+    min_rtt_ratio: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.headroom <= 0:
+            raise OrchestrationError("headroom must be positive")
+        if self.min_rtt_ratio < 1:
+            raise OrchestrationError("min_rtt_ratio must be at least 1")
+
+    def decide(
+        self,
+        job: IncastJob,
+        *,
+        bottleneck_bps: float,
+        interdc_rtt_ps: int,
+        intra_rtt_ps: int,
+        bottleneck_buffer_bytes: int,
+        sender_rate_bps: float | None = None,
+    ) -> AdmissionDecision:
+        """Apply both crossover tests to one incast."""
+        if bottleneck_bps <= 0 or interdc_rtt_ps <= 0 or intra_rtt_ps <= 0:
+            raise OrchestrationError("rates and RTTs must be positive")
+        sender_rate = sender_rate_bps if sender_rate_bps is not None else bottleneck_bps
+        bdp = bandwidth_delay_product_bytes(bottleneck_bps, interdc_rtt_ps)
+        # First-RTT volume: each flow bursts at most one initial window (1 BDP).
+        burst = sum(min(flow, bdp) for flow in job.flow_bytes)
+        # While the burst arrives at degree x sender_rate, the bottleneck
+        # drains at bottleneck_bps; the difference must sit in the buffer.
+        arrival = job.degree * sender_rate
+        queued = burst * max(0.0, 1.0 - bottleneck_bps / arrival)
+        overload = round(queued - self.headroom * bottleneck_buffer_bytes)
+        ratio = interdc_rtt_ps / intra_rtt_ps
+
+        if overload <= 0:
+            return AdmissionDecision(
+                use_proxy=False,
+                reason=(
+                    f"no first-RTT loss expected: the burst queues "
+                    f"{round(queued)} B against a "
+                    f"{bottleneck_buffer_bytes} B buffer"
+                ),
+                overload_bytes=overload,
+                rtt_ratio=ratio,
+            )
+        if ratio < self.min_rtt_ratio:
+            return AdmissionDecision(
+                use_proxy=False,
+                reason=(
+                    f"feedback loop barely longer than intra-DC "
+                    f"(ratio {ratio:.1f} < {self.min_rtt_ratio:.1f}): nothing to shorten"
+                ),
+                overload_bytes=overload,
+                rtt_ratio=ratio,
+            )
+        return AdmissionDecision(
+            use_proxy=True,
+            reason=(
+                f"first-RTT overload of {overload} B with a {ratio:.0f}x longer "
+                "feedback loop: proxy shortens convergence"
+            ),
+            overload_bytes=overload,
+            rtt_ratio=ratio,
+        )

@@ -1,0 +1,40 @@
+"""Centralized proxy selection.
+
+A global orchestrator with an always-fresh view of proxy load (the paper
+notes this "requires frequent updates on proxy status" — the cost we
+charge as a fixed selection latency instead of modelling a control-plane
+protocol).
+"""
+
+from __future__ import annotations
+
+from repro.orchestration.policies import Policy, least_loaded
+from repro.orchestration.state import ProxyRegistry
+from repro.units import microseconds
+from repro.workloads.incast import IncastJob
+
+
+class CentralOrchestrator:
+    """Global orchestrator: one policy call per incast."""
+
+    def __init__(
+        self,
+        registry: ProxyRegistry,
+        policy: Policy = least_loaded,
+        selection_latency_ps: int = microseconds(10),
+    ) -> None:
+        self.registry = registry
+        self.policy = policy
+        self.selection_latency_ps = selection_latency_ps
+        self.selections = 0
+
+    def select(self, job: IncastJob) -> tuple[int, int]:
+        """Pick a proxy for ``job``; returns (host_id, selection_delay_ps)."""
+        host_id = self.policy(self.registry)
+        self.registry.assign(host_id, job.name, job.total_bytes)
+        self.selections += 1
+        return host_id, self.selection_latency_ps
+
+    def release(self, job: IncastJob, host_id: int) -> None:
+        """Mark ``job`` finished."""
+        self.registry.release(host_id, job.name, job.total_bytes)

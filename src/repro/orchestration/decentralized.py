@@ -1,0 +1,66 @@
+"""Decentralized proxy selection by repeated trials.
+
+Each incast independently probes random candidate proxies until it finds
+one under the load threshold (the paper: "repeated trials by individual
+incast, which can lead to communication overhead").  Every probe costs a
+round trip to the candidate; the selector accounts that latency and counts
+total probes so the overhead trade-off against the central orchestrator is
+measurable.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import OrchestrationError
+from repro.orchestration.state import ProxyRegistry
+from repro.units import microseconds
+from repro.workloads.incast import IncastJob
+
+
+class DecentralizedSelector:
+    """Random probing with a load threshold and bounded trials."""
+
+    def __init__(
+        self,
+        registry: ProxyRegistry,
+        rng: random.Random,
+        max_load: int = 1,
+        max_trials: int = 8,
+        probe_rtt_ps: int = microseconds(20),
+    ) -> None:
+        if max_load < 1 or max_trials < 1:
+            raise OrchestrationError("max_load and max_trials must be at least 1")
+        self.registry = registry
+        self.rng = rng
+        self.max_load = max_load
+        self.max_trials = max_trials
+        self.probe_rtt_ps = probe_rtt_ps
+        self.probes = 0
+        self.fallbacks = 0
+
+    def select(self, job: IncastJob) -> tuple[int, int]:
+        """Probe for a proxy; returns (host_id, accumulated_probe_delay_ps).
+
+        Falls back to the last probed candidate when every trial is busy
+        (counted in ``fallbacks``).
+        """
+        hosts = self.registry.host_ids
+        if not hosts:
+            raise OrchestrationError("no registered proxies")
+        delay = 0
+        choice = hosts[0]
+        for _ in range(self.max_trials):
+            choice = hosts[self.rng.randrange(len(hosts))]
+            self.probes += 1
+            delay += self.probe_rtt_ps
+            if self.registry.load(choice) < self.max_load:
+                self.registry.assign(choice, job.name, job.total_bytes)
+                return choice, delay
+        self.fallbacks += 1
+        self.registry.assign(choice, job.name, job.total_bytes)
+        return choice, delay
+
+    def release(self, job: IncastJob, host_id: int) -> None:
+        """Mark ``job`` finished."""
+        self.registry.release(host_id, job.name, job.total_bytes)

@@ -1,0 +1,43 @@
+"""Selection policies: given the registry, pick a proxy host id."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import OrchestrationError
+from repro.orchestration.state import ProxyRegistry
+
+Policy = Callable[[ProxyRegistry], int]
+
+
+def least_loaded(registry: ProxyRegistry) -> int:
+    """Proxy with the fewest active incasts (ties: lowest assigned bytes)."""
+    proxies = registry.proxies
+    if not proxies:
+        raise OrchestrationError("no registered proxies")
+    best = min(proxies, key=lambda p: (p.load, p.assigned_bytes, p.host_id))
+    return best.host_id
+
+
+def least_bytes(registry: ProxyRegistry) -> int:
+    """Proxy with the least outstanding assigned bytes."""
+    proxies = registry.proxies
+    if not proxies:
+        raise OrchestrationError("no registered proxies")
+    best = min(proxies, key=lambda p: (p.assigned_bytes, p.load, p.host_id))
+    return best.host_id
+
+
+def make_round_robin() -> Policy:
+    """A stateful round-robin policy (ignores load)."""
+    cursor = [0]
+
+    def policy(registry: ProxyRegistry) -> int:
+        hosts = registry.host_ids
+        if not hosts:
+            raise OrchestrationError("no registered proxies")
+        host = hosts[cursor[0] % len(hosts)]
+        cursor[0] += 1
+        return host
+
+    return policy

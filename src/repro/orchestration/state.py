@@ -1,0 +1,83 @@
+"""Proxy load bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OrchestrationError
+
+
+@dataclass
+class ProxyInfo:
+    """Load state of one candidate proxy server."""
+
+    host_id: int
+    active_incasts: set[str] = field(default_factory=set)
+    assigned_bytes: int = 0
+    total_assigned: int = 0
+    alive: bool = True
+
+    @property
+    def load(self) -> int:
+        """Number of incasts currently routed through this proxy."""
+        return len(self.active_incasts)
+
+
+class ProxyRegistry:
+    """Registry of candidate proxies and their current assignments."""
+
+    def __init__(self) -> None:
+        self._proxies: dict[int, ProxyInfo] = {}
+
+    def register(self, host_id: int) -> None:
+        """Add a candidate proxy (idempotent)."""
+        self._proxies.setdefault(host_id, ProxyInfo(host_id))
+
+    def assign(self, host_id: int, incast_name: str, total_bytes: int) -> None:
+        """Record that ``incast_name`` now routes through ``host_id``."""
+        info = self._info(host_id)
+        if incast_name in info.active_incasts:
+            raise OrchestrationError(
+                f"incast {incast_name!r} is already assigned to proxy {host_id}"
+            )
+        info.active_incasts.add(incast_name)
+        info.assigned_bytes += total_bytes
+        info.total_assigned += 1
+
+    def release(self, host_id: int, incast_name: str, total_bytes: int) -> None:
+        """Record that ``incast_name`` finished."""
+        info = self._info(host_id)
+        if incast_name not in info.active_incasts:
+            raise OrchestrationError(
+                f"incast {incast_name!r} is not assigned to proxy {host_id}"
+            )
+        info.active_incasts.discard(incast_name)
+        info.assigned_bytes -= total_bytes
+
+    def load(self, host_id: int) -> int:
+        """Active incast count of one proxy."""
+        return self._info(host_id).load
+
+    def mark_dead(self, host_id: int) -> None:
+        """Exclude a proxy from selection (host failure, drain, ...)."""
+        self._info(host_id).alive = False
+
+    def mark_alive(self, host_id: int) -> None:
+        """Return a proxy to the selectable pool."""
+        self._info(host_id).alive = True
+
+    @property
+    def proxies(self) -> list[ProxyInfo]:
+        """All registered *alive* proxies."""
+        return [p for p in self._proxies.values() if p.alive]
+
+    @property
+    def host_ids(self) -> list[int]:
+        """All registered alive proxy host ids, in registration order."""
+        return [host_id for host_id, p in self._proxies.items() if p.alive]
+
+    def _info(self, host_id: int) -> ProxyInfo:
+        try:
+            return self._proxies[host_id]
+        except KeyError:
+            raise OrchestrationError(f"host {host_id} is not a registered proxy") from None

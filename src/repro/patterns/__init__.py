@@ -1,0 +1,29 @@
+"""Incast pattern detection and prediction (paper §6, "pattern-aware rerouting").
+
+Two mechanisms the research agenda calls for:
+
+* :class:`OnlineIncastDetector` — reactive: per-destination sliding-window
+  fan-in/byte counters over observed flow arrivals, flagging a destination
+  as under incast the moment enough distinct sources converge on it.
+* :class:`PeriodicIncastPredictor` — proactive: autocorrelation over a
+  traffic time series (ML training synchronization phases are periodic)
+  to estimate the period and predict the next burst, so the operator can
+  stage a proxy *before* the incast starts.
+"""
+
+from repro.patterns.controller import ControllerConfig, PatternAwareController
+from repro.patterns.detector import DetectionEvent, DetectorSettings, OnlineIncastDetector
+from repro.patterns.predictor import PeriodEstimate, PeriodicIncastPredictor
+from repro.patterns.run import PatternAwareResult, run_pattern_aware
+
+__all__ = [
+    "ControllerConfig",
+    "DetectionEvent",
+    "DetectorSettings",
+    "OnlineIncastDetector",
+    "PatternAwareController",
+    "PatternAwareResult",
+    "PeriodEstimate",
+    "PeriodicIncastPredictor",
+    "run_pattern_aware",
+]

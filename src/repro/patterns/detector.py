@@ -1,0 +1,79 @@
+"""Reactive incast detection from per-destination counters.
+
+The detector keeps, per destination, a sliding window of recent flow
+observations (source, bytes).  A destination is flagged when, within the
+window, both the number of *distinct* sources and the aggregate byte count
+exceed their thresholds — the Floodgate-style per-destination counting the
+paper cites, implemented at the observation point rather than in switch
+hardware.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import milliseconds
+
+
+@dataclass(frozen=True)
+class DetectorSettings:
+    """Thresholds of the online detector."""
+
+    window_ps: int = milliseconds(1)
+    min_sources: int = 3
+    min_bytes: int = 1_000_000
+    cooldown_ps: int = milliseconds(5)
+
+    def __post_init__(self) -> None:
+        if self.window_ps <= 0 or self.cooldown_ps < 0:
+            raise ConfigError("window must be positive and cooldown non-negative")
+        if self.min_sources < 2:
+            raise ConfigError("an incast needs at least 2 sources")
+        if self.min_bytes < 1:
+            raise ConfigError("min_bytes must be positive")
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """One incast detection: destination, when, and the evidence."""
+
+    dst: int
+    time: int
+    sources: int
+    window_bytes: int
+
+
+class OnlineIncastDetector:
+    """Sliding-window per-destination fan-in detector."""
+
+    def __init__(self, settings: DetectorSettings | None = None) -> None:
+        self.settings = settings if settings is not None else DetectorSettings()
+        self.events: list[DetectionEvent] = []
+        self._windows: dict[int, deque[tuple[int, int, int]]] = {}
+        self._last_fired: dict[int, int] = {}
+
+    def observe(self, time: int, src: int, dst: int, nbytes: int) -> DetectionEvent | None:
+        """Feed one flow observation; returns a detection if one fires."""
+        window = self._windows.setdefault(dst, deque())
+        window.append((time, src, nbytes))
+        horizon = time - self.settings.window_ps
+        while window and window[0][0] < horizon:
+            window.popleft()
+
+        last = self._last_fired.get(dst)
+        if last is not None and time - last < self.settings.cooldown_ps:
+            return None
+        sources = {entry[1] for entry in window}
+        total = sum(entry[2] for entry in window)
+        if len(sources) >= self.settings.min_sources and total >= self.settings.min_bytes:
+            event = DetectionEvent(dst=dst, time=time, sources=len(sources), window_bytes=total)
+            self.events.append(event)
+            self._last_fired[dst] = time
+            return event
+        return None
+
+    def watched_destinations(self) -> list[int]:
+        """Destinations with any recent observations."""
+        return [dst for dst, window in self._windows.items() if window]

@@ -1,0 +1,109 @@
+"""Cascaded relay chains across multiple long-haul segments.
+
+An extension of the paper's idea beyond two datacenters: with a chain
+DC0 → DC1 → … → DCn, a *single* proxy in the sending datacenter shortens
+only the first feedback loop; congestion or loss on a later segment is
+still repaired from far away.  A relay at every intermediate datacenter
+splits the path into per-segment connections, so each segment gets
+
+* a window sized to *its own* BDP (no 68 MB initial windows just because
+  the end-to-end path is long), and
+* loss recovery over *its own* RTT (a blip on the last segment is repaired
+  from the nearest relay, not from the source across every segment).
+
+Each hop is a release-gated :class:`~repro.transport.connection.Connection`
+(the Naive proxy's mechanism, chained): hop *k*'s receiver delivers
+in-order segments that release hop *k+1*'s sender.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.config import TransportConfig
+from repro.errors import ProxyError
+from repro.transport.connection import Connection
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+    from repro.net.node import Host
+
+
+@dataclass
+class RelayChain:
+    """The per-hop connections realizing one chained flow."""
+
+    legs: list[Connection] = field(default_factory=list)
+
+    @property
+    def completed(self) -> bool:
+        """True once the final receiver has every byte."""
+        return self.legs[-1].completed
+
+    @property
+    def hops(self) -> int:
+        """Number of connections in the chain."""
+        return len(self.legs)
+
+    def start(self, delay_ps: int = 0) -> None:
+        """Start every leg (downstream legs idle until data is relayed)."""
+        for leg in self.legs:
+            leg.start(delay_ps)
+
+    def backlog_packets(self, hop: int) -> int:
+        """Segments delivered to relay ``hop`` but not yet sent onward."""
+        leg = self.legs[hop + 1]
+        return leg.sender.available - leg.sender.next_new
+
+
+def build_relay_chain(
+    net: "Network",
+    src: "Host",
+    dst: "Host",
+    total_bytes: int,
+    cfg: TransportConfig,
+    relay_hosts: list["Host"],
+    *,
+    on_complete: Callable[[object], None] | None = None,
+    label: str = "chain",
+) -> RelayChain:
+    """Wire ``src -> relay_hosts... -> dst`` as chained connections.
+
+    Every leg runs the configured congestion control over its own segment;
+    legs after the first start with zero released packets and are fed by
+    the previous hop's in-order delivery.
+    """
+    if not relay_hosts:
+        raise ProxyError("a relay chain needs at least one relay host")
+    stations = [src, *relay_hosts, dst]
+    for a, b in zip(stations, stations[1:]):
+        if a is b:
+            raise ProxyError("consecutive chain stations must be distinct hosts")
+
+    chain = RelayChain()
+    # Build downstream-first so each hop's deliveries can release the next.
+    downstream: Connection | None = None
+    for hop in range(len(stations) - 2, -1, -1):
+        a, b = stations[hop], stations[hop + 1]
+        next_leg = downstream
+
+        def deliver(seq: int, next_leg=next_leg) -> None:
+            if next_leg is not None:
+                next_leg.sender.release(1)
+
+        downstream = Connection(
+            net,
+            a,
+            b,
+            total_bytes,
+            cfg,
+            available_packets=None if hop == 0 else 0,
+            on_deliver=deliver,
+            on_receiver_complete=(
+                on_complete if hop == len(stations) - 2 else None
+            ),
+            label=f"{label}:hop{hop}",
+        )
+        chain.legs.insert(0, downstream)
+    return chain

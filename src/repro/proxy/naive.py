@@ -1,0 +1,100 @@
+"""The Naive proxy (paper §4.1 "Proxy (Naive)", §5 "independent connections").
+
+For each flow the proxy terminates two full connections:
+
+* **sender → proxy_R** — an ordinary DCTCP-like connection contained in
+  the sending datacenter, so all congestion feedback (ECN marks, loss,
+  µs-level timeouts) reaches the sender within microseconds;
+* **proxy_S → receiver** — the long-haul leg.  Per the paper, proxy_S
+  "sends a packet onto the wire as long as the queue at proxy_R is
+  non-empty and there is bandwidth available": it is NIC-paced (no
+  congestion window) but still reliable (RACK/RTO-based retransmission).
+
+The relay preserves byte-stream order: proxy_R delivers in-order segments
+and each delivery releases one segment to proxy_S.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.config import TransportConfig
+from repro.transport.connection import Connection
+from repro.transport.receiver import AckingReceiver
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+    from repro.net.node import Host
+
+
+@dataclass
+class NaiveRelayedFlow:
+    """The pair of connections realizing one relayed flow."""
+
+    inner: Connection  # sender -> proxy
+    outer: Connection  # proxy  -> receiver
+
+    @property
+    def completed(self) -> bool:
+        """True once the *real* receiver has every byte."""
+        return self.outer.completed
+
+    @property
+    def relay_backlog_packets(self) -> int:
+        """Segments delivered to the proxy but not yet sent on the long leg."""
+        return self.outer.sender.available - self.outer.sender.next_new
+
+    def start(self, delay_ps: int = 0) -> None:
+        """Start both legs (the outer leg idles until data is relayed)."""
+        self.inner.start(delay_ps)
+        self.outer.start(delay_ps)
+
+    def teardown(self) -> None:
+        """Unregister all endpoints."""
+        self.inner.teardown()
+        self.outer.teardown()
+
+
+class NaiveProxy:
+    """Split-connection relay living on one host."""
+
+    def __init__(self, net: "Network", host: "Host", cfg: TransportConfig) -> None:
+        self.net = net
+        self.host = host
+        self.cfg = cfg
+        self.flows: list[NaiveRelayedFlow] = []
+
+    def relay(
+        self,
+        src: "Host",
+        dst: "Host",
+        total_bytes: int,
+        *,
+        on_receiver_complete: Callable[[AckingReceiver], None] | None = None,
+        label: str = "",
+    ) -> NaiveRelayedFlow:
+        """Wire one relayed flow ``src -> proxy -> dst``."""
+        outer = Connection(
+            self.net,
+            self.host,
+            dst,
+            total_bytes,
+            self.cfg,
+            cc_name="unlimited",
+            available_packets=0,
+            on_receiver_complete=on_receiver_complete,
+            label=f"{label or 'naive'}:long",
+        )
+        inner = Connection(
+            self.net,
+            src,
+            self.host,
+            total_bytes,
+            self.cfg,
+            on_deliver=lambda seq: outer.sender.release(1),
+            label=f"{label or 'naive'}:local",
+        )
+        flow = NaiveRelayedFlow(inner=inner, outer=outer)
+        self.flows.append(flow)
+        return flow

@@ -1,0 +1,62 @@
+"""Deterministic placement of incast senders and the proxy.
+
+The experiment runner (and the orchestrator, for multi-incast runs) places
+senders round-robin across the sending datacenter's leaves — spreading the
+incast the way a scheduler with no incast-awareness would — and puts the
+proxy on the leaf carrying the fewest senders, so the proxy's down-ToR
+link is a clean bottleneck rather than sharing a ToR with most senders.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import TopologyError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Host
+    from repro.topology.leafspine import Fabric
+
+
+def pick_senders(fabric: "Fabric", degree: int, exclude: set[int] | None = None) -> list["Host"]:
+    """Choose ``degree`` sender hosts round-robin across leaves.
+
+    ``exclude`` lists host ids that must not be chosen (e.g. the proxy).
+    """
+    excluded = exclude or set()
+    chosen: list[Host] = []
+    per_leaf = [list(hosts) for hosts in fabric.hosts_by_leaf]
+    rank = 0
+    while len(chosen) < degree:
+        progressed = False
+        for hosts in per_leaf:
+            if len(chosen) >= degree:
+                break
+            if rank < len(hosts) and hosts[rank].id not in excluded:
+                chosen.append(hosts[rank])
+                progressed = True
+        if not progressed and rank >= max(len(h) for h in per_leaf):
+            raise TopologyError(
+                f"cannot place {degree} senders in a fabric with "
+                f"{sum(len(h) for h in per_leaf)} servers ({len(excluded)} excluded)"
+            )
+        rank += 1
+    return chosen
+
+
+def pick_proxy_host(fabric: "Fabric", senders: list["Host"]) -> "Host":
+    """Choose the proxy: a non-sender server on the leaf with fewest senders."""
+    sender_ids = {h.id for h in senders}
+    sender_count = [
+        sum(1 for h in hosts if h.id in sender_ids) for hosts in fabric.hosts_by_leaf
+    ]
+    # Prefer leaves with fewer senders; break ties toward the last leaf so
+    # the default small-degree layouts keep proxy and senders apart.
+    order = sorted(
+        range(len(fabric.hosts_by_leaf)), key=lambda i: (sender_count[i], -i)
+    )
+    for leaf_index in order:
+        for host in reversed(fabric.hosts_by_leaf[leaf_index]):
+            if host.id not in sender_ids:
+                return host
+    raise TopologyError("no free server available to host the proxy")

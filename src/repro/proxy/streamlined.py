@@ -1,0 +1,128 @@
+"""The Streamlined proxy (paper §3 Insight 3, §4.1, §5).
+
+Each flow keeps a *single* end-to-end connection, loose-source-routed
+through the proxy.  The proxy's entire data-plane logic is:
+
+* full data packet  → pop the next route stop and forward to the receiver;
+* trimmed header    → send a NACK straight back to the sender (do **not**
+  forward the header — the sender will retransmit) — this is the early
+  loss signal that shortens the feedback loop to microseconds;
+* ACK/NACK from the receiver → forward transparently to the sender.
+
+This mirrors the paper's eBPF prototype, whose measured per-packet cost is
+modelled by :mod:`repro.hoststack`; pass ``processing_delay`` to charge
+that cost on every packet the proxy touches.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ProxyError
+from repro.net.packet import Packet, PacketType, make_nack
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Host
+    from repro.sim.simulator import Simulator
+    from repro.transport.connection import Connection
+
+
+class ProxyStats:
+    """Counters all proxy flavours maintain."""
+
+    __slots__ = (
+        "data_forwarded",
+        "control_forwarded",
+        "trimmed_absorbed",
+        "nacks_sent",
+        "packets_processed",
+    )
+
+    def __init__(self) -> None:
+        self.data_forwarded = 0
+        self.control_forwarded = 0
+        self.trimmed_absorbed = 0
+        self.nacks_sent = 0
+        self.packets_processed = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """Snapshot for reports."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+class StreamlinedProxy:
+    """Trim-aware forwarding proxy living on one host."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        host: "Host",
+        *,
+        processing_delay: Callable[[], int] | None = None,
+        label: str = "",
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.processing_delay = processing_delay
+        self.label = label or f"sproxy:{host.name}"
+        self.stats = ProxyStats()
+        self.flows: set[int] = set()
+
+    # -- wiring ------------------------------------------------------------------
+
+    def attach(self, connection: "Connection") -> None:
+        """Relay one end-to-end connection through this proxy."""
+        self.attach_flow(connection.flow_id)
+
+    def attach_flow(self, flow_id: int) -> None:
+        """Relay packets of ``flow_id`` (lower-level form of :meth:`attach`)."""
+        self.host.register_handler(flow_id, self._handle)
+        self.flows.add(flow_id)
+
+    def detach_flow(self, flow_id: int) -> None:
+        """Stop relaying ``flow_id``."""
+        self.host.unregister_handler(flow_id)
+        self.flows.discard(flow_id)
+
+    # -- data plane -----------------------------------------------------------------
+
+    def _handle(self, packet: Packet) -> None:
+        delay = self.processing_delay() if self.processing_delay is not None else 0
+        if delay > 0:
+            self.sim.schedule(delay, partial(self._process, packet))
+        else:
+            self._process(packet)
+
+    def _process(self, packet: Packet) -> None:
+        self.stats.packets_processed += 1
+        if packet.kind == PacketType.DATA:
+            if packet.trimmed:
+                self._reflect_nack(packet)
+            else:
+                self._forward(packet)
+                self.stats.data_forwarded += 1
+        else:
+            self._forward(packet)
+            self.stats.control_forwarded += 1
+
+    def _forward(self, packet: Packet) -> None:
+        if not packet.stops:
+            raise ProxyError(
+                f"{self.label}: packet for flow {packet.flow_id} has no further "
+                "route stop — connection was not built with via=(proxy,)"
+            )
+        packet.pop_stop()
+        self.host.send(packet)
+
+    def _reflect_nack(self, packet: Packet) -> None:
+        self.stats.trimmed_absorbed += 1
+        nack = make_nack(
+            packet.flow_id,
+            packet.seq,
+            self.host.id,
+            packet.src,
+            ts_echo=packet.ts,
+        )
+        self.stats.nacks_sent += 1
+        self.host.send(nack)

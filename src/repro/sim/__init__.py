@@ -1,0 +1,28 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: a cancellable event scheduler driven by an
+integer-picosecond clock, a restartable :class:`~repro.sim.timers.Timer`
+built on top of it, seeded random-number management, and an optional trace
+sink.  Everything else in the library (links, queues, transports, proxies)
+is expressed as callbacks scheduled on a :class:`~repro.sim.simulator.Simulator`.
+"""
+
+from repro.sim.events import Event
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import EventScheduler
+from repro.sim.simulator import Simulator
+from repro.sim.timers import Timer
+from repro.sim.tracing import CsvTracer, NullTracer, RecordingTracer, TraceRecord, Tracer
+
+__all__ = [
+    "CsvTracer",
+    "Event",
+    "EventScheduler",
+    "NullTracer",
+    "RecordingTracer",
+    "RngRegistry",
+    "Simulator",
+    "Timer",
+    "TraceRecord",
+    "Tracer",
+]

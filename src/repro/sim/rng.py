@@ -1,0 +1,45 @@
+"""Seeded random-number management.
+
+Every stochastic component (packet-spraying switches, latency samplers,
+workload generators) draws from its own named ``random.Random`` stream,
+derived deterministically from the run's master seed.  This keeps runs
+reproducible *and* makes streams independent: adding a new random consumer
+does not perturb the draws seen by existing ones.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+
+class RngRegistry:
+    """Hands out independent, deterministically-seeded RNG streams."""
+
+    __slots__ = ("_seed", "_streams")
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = seed
+        self._streams: dict[str, random.Random] = {}
+
+    @property
+    def seed(self) -> int:
+        """The master seed the registry was created with."""
+        return self._seed
+
+    def stream(self, name: str) -> random.Random:
+        """Return the RNG stream for ``name``, creating it on first use.
+
+        The stream's seed mixes the master seed with a CRC of the name, so
+        the same (seed, name) pair always yields the same sequence.
+        """
+        rng = self._streams.get(name)
+        if rng is None:
+            derived = (self._seed * 0x9E3779B1 + zlib.crc32(name.encode())) & 0xFFFFFFFFFFFFFFFF
+            rng = random.Random(derived)
+            self._streams[name] = rng
+        return rng
+
+    def fork(self, salt: int) -> "RngRegistry":
+        """A registry whose streams are independent of this one (e.g. per rep)."""
+        return RngRegistry((self._seed * 1_000_003 + salt) & 0xFFFFFFFFFFFFFFFF)

@@ -1,0 +1,66 @@
+"""The event scheduler: a cancellable binary-heap priority queue.
+
+Events firing at the same tick run in scheduling order (FIFO), which keeps
+runs deterministic for a fixed seed.  The hot path — ``schedule_at`` and
+``pop_next`` — avoids attribute lookups and allocation beyond the
+:class:`~repro.sim.events.Event` handle itself.  Cancellation is lazy:
+cancelled entries are discarded when they surface at the top of the heap.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SchedulingError
+from repro.sim.events import Event
+
+
+class EventScheduler:
+    """A time-ordered queue of cancellable events."""
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[int, int, Event]] = []
+        self._seq = 0
+
+    def schedule_at(self, time: int, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute tick ``time``; returns the handle."""
+        self._seq += 1
+        event = Event(time, self._seq, callback)
+        heapq.heappush(self._heap, (time, self._seq, event))
+        return event
+
+    def next_time(self) -> int | None:
+        """Absolute tick of the earliest pending event, or None if empty."""
+        heap = self._heap
+        while heap:
+            if heap[0][2].cancelled:
+                heapq.heappop(heap)
+                continue
+            return heap[0][0]
+        return None
+
+    def pop_next(self) -> Event | None:
+        """Remove and return the earliest pending event, or None if empty."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[2]
+            if not event.cancelled:
+                return event
+        return None
+
+    def __len__(self) -> int:
+        """Number of pending (non-cancelled) events.  O(n); for tests/stats."""
+        return sum(1 for entry in self._heap if not entry[2].cancelled)
+
+    def __bool__(self) -> bool:
+        return self.next_time() is not None
+
+    def validate_time(self, now: int, time: int) -> None:
+        """Raise if ``time`` lies in the past relative to ``now``."""
+        if time < now:
+            raise SchedulingError(
+                f"cannot schedule at t={time} while the clock reads t={now}"
+            )

@@ -1,0 +1,98 @@
+"""The simulator facade: clock + scheduler + RNG + tracer.
+
+A :class:`Simulator` owns the run loop.  Components hold a reference to it
+and use :meth:`schedule` / :meth:`schedule_at` to arrange future work and
+:attr:`now` to read the clock.  The loop runs until the event queue drains,
+a time horizon is reached, or a registered stop predicate fires.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.events import Event
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import EventScheduler
+from repro.sim.tracing import NullTracer, Tracer
+
+
+class Simulator:
+    """Discrete-event run loop with an integer-picosecond clock."""
+
+    def __init__(self, seed: int = 0, tracer: Tracer | None = None) -> None:
+        self.now: int = 0
+        self.scheduler = EventScheduler()
+        self.rng = RngRegistry(seed)
+        self.tracer: Tracer = tracer if tracer is not None else NullTracer()
+        self.events_executed: int = 0
+        self._running = False
+        self._stop_requested = False
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: int, callback: Callable[[], Any]) -> Event:
+        """Run ``callback`` after ``delay`` picoseconds."""
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay}")
+        return self.scheduler.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: int, callback: Callable[[], Any]) -> Event:
+        """Run ``callback`` at absolute tick ``time`` (must not be in the past)."""
+        self.scheduler.validate_time(self.now, time)
+        return self.scheduler.schedule_at(time, callback)
+
+    # -- running ------------------------------------------------------------
+
+    def run(self, until: int | None = None, max_events: int | None = None) -> int:
+        """Execute events until the queue drains, ``until`` is reached, or
+        ``max_events`` have run.  Returns the final clock value.
+
+        ``until`` is an absolute tick; when it cuts the run short the clock
+        is advanced to it so a later ``run`` call resumes consistently.
+        """
+        if self._running:
+            raise SimulationError("run() re-entered from inside an event")
+        self._running = True
+        self._stop_requested = False
+        scheduler = self.scheduler
+        executed = 0
+        try:
+            while True:
+                if self._stop_requested:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                next_time = scheduler.next_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.now = until
+                    break
+                event = scheduler.pop_next()
+                assert event is not None  # next_time() said there is one
+                self.now = event.time
+                event.cancelled = True  # consumed; pending -> False
+                event.callback()
+                executed += 1
+        finally:
+            self._running = False
+            self.events_executed += executed
+        if until is not None and scheduler.next_time() is None and self.now < until:
+            self.now = until
+        return self.now
+
+    def stop(self) -> None:
+        """Request the run loop to return after the current event."""
+        self._stop_requested = True
+
+    # -- convenience --------------------------------------------------------
+
+    def trace(self, source: str, kind: str, **details: Any) -> None:
+        """Emit a trace record stamped with the current time."""
+        if self.tracer.enabled:
+            self.tracer.record(self.now, source, kind, **details)
+
+    def pending_events(self) -> int:
+        """Number of events still queued (O(n); for tests and diagnostics)."""
+        return len(self.scheduler)

@@ -1,0 +1,56 @@
+"""A restartable one-shot timer.
+
+Transports re-arm their retransmission timers constantly; :class:`Timer`
+wraps the cancel-and-reschedule dance so callers just ``restart(delay)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.events import Event
+from repro.sim.simulator import Simulator
+
+
+class Timer:
+    """One-shot timer that can be (re)started and stopped any number of times."""
+
+    __slots__ = ("_sim", "_callback", "_event")
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any]) -> None:
+        self._sim = sim
+        self._callback = callback
+        self._event: Event | None = None
+
+    @property
+    def armed(self) -> bool:
+        """True while the timer is counting down."""
+        return self._event is not None and self._event.pending
+
+    @property
+    def expires_at(self) -> int | None:
+        """Absolute tick the timer will fire at, or None when disarmed."""
+        if self.armed:
+            assert self._event is not None
+            return self._event.time
+        return None
+
+    def restart(self, delay: int) -> None:
+        """Arm (or re-arm) the timer to fire ``delay`` ps from now."""
+        self.stop()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def start_if_idle(self, delay: int) -> None:
+        """Arm the timer only if it is not already counting down."""
+        if not self.armed:
+            self.restart(delay)
+
+    def stop(self) -> None:
+        """Disarm the timer if armed."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()

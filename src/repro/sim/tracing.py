@@ -1,0 +1,104 @@
+"""Trace sinks.
+
+Components emit structured trace records (packet drops, trims, marks,
+retransmissions, window changes) through the simulator's tracer.  The
+default :class:`NullTracer` discards everything at near-zero cost;
+:class:`RecordingTracer` keeps records in memory for tests and debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One trace entry: when, who, what, and free-form details."""
+
+    time: int
+    source: str
+    kind: str
+    details: dict[str, Any]
+
+
+class Tracer:
+    """Interface for trace sinks."""
+
+    enabled = False
+
+    def record(self, time: int, source: str, kind: str, **details: Any) -> None:
+        """Accept one trace record."""
+        raise NotImplementedError
+
+
+class NullTracer(Tracer):
+    """Discards all records; ``enabled`` is False so hot paths can skip calls."""
+
+    enabled = False
+
+    def record(self, time: int, source: str, kind: str, **details: Any) -> None:
+        """Do nothing."""
+
+
+class CsvTracer(Tracer):
+    """Streams records to a CSV file as they are emitted.
+
+    For long runs where keeping every record in memory is wasteful;
+    details are JSON-encoded into a single column so arbitrary keys
+    survive the flat format.  Call :meth:`close` (or use as a context
+    manager) to flush.
+    """
+
+    enabled = True
+
+    def __init__(self, path, kinds: set[str] | None = None) -> None:
+        import csv
+        from pathlib import Path
+
+        self._path = Path(path)
+        self._path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self._path.open("w", newline="")
+        self._writer = csv.writer(self._fh)
+        self._writer.writerow(["time_ps", "source", "kind", "details"])
+        self._kinds = kinds
+        self.rows_written = 0
+
+    def record(self, time: int, source: str, kind: str, **details: Any) -> None:
+        """Write one CSV row if the record passes the kind filter."""
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        import json
+
+        self._writer.writerow([time, source, kind, json.dumps(details, sort_keys=True)])
+        self.rows_written += 1
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "CsvTracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class RecordingTracer(Tracer):
+    """Stores every record in a list, optionally filtered by kind."""
+
+    enabled = True
+
+    def __init__(self, kinds: set[str] | None = None) -> None:
+        self.records: list[TraceRecord] = []
+        self._kinds = kinds
+
+    def record(self, time: int, source: str, kind: str, **details: Any) -> None:
+        """Store the record if it passes the kind filter."""
+        if self._kinds is None or kind in self._kinds:
+            self.records.append(TraceRecord(time, source, kind, details))
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        """All stored records of one kind, in emission order."""
+        return [record for record in self.records if record.kind == kind]

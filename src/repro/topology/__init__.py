@@ -1,0 +1,20 @@
+"""Topology builders.
+
+:func:`build_leafspine` wires one datacenter fabric;
+:func:`build_interdc` wires the paper's §4.1 evaluation topology — two
+leaf–spine datacenters joined by backbone routers over long-haul links.
+"""
+
+from repro.topology.interdc import InterDcNetwork, build_interdc
+from repro.topology.leafspine import Fabric, build_leafspine
+from repro.topology.multidc import MultiDcConfig, MultiDcNetwork, build_multidc
+
+__all__ = [
+    "Fabric",
+    "InterDcNetwork",
+    "MultiDcConfig",
+    "MultiDcNetwork",
+    "build_interdc",
+    "build_leafspine",
+    "build_multidc",
+]

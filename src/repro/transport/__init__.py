@@ -1,0 +1,30 @@
+"""Reliable windowed transport with the paper's DCTCP-like congestion control.
+
+Public surface: :class:`Connection` (wires a sender/receiver pair across a
+:class:`~repro.net.network.Network`), the endpoints themselves, the
+congestion controllers, and the RTT estimator.
+"""
+
+from repro.transport.aimd import RenoAimd
+from repro.transport.cc_base import CongestionControl, UnlimitedWindow
+from repro.transport.connection import Connection, make_congestion_control
+from repro.transport.dctcp import DctcpLike
+from repro.transport.rate_based import RateBased
+from repro.transport.receiver import AckingReceiver, ReceiverStats
+from repro.transport.rtt import RttEstimator
+from repro.transport.sender import SenderStats, WindowedSender
+
+__all__ = [
+    "AckingReceiver",
+    "CongestionControl",
+    "Connection",
+    "DctcpLike",
+    "RateBased",
+    "ReceiverStats",
+    "RenoAimd",
+    "RttEstimator",
+    "SenderStats",
+    "UnlimitedWindow",
+    "WindowedSender",
+    "make_congestion_control",
+]

@@ -1,0 +1,26 @@
+"""Reno-style AIMD congestion control.
+
+An alternative to :class:`~repro.transport.dctcp.DctcpLike` used by the
+CC-sensitivity ablation: ECN marks and loss signals both halve the window
+(rate-limited to one cut per feedback delay); unmarked ACKs grow it by
+slow start / congestion avoidance.
+"""
+
+from __future__ import annotations
+
+from repro.transport.cc_base import CongestionControl
+
+
+class RenoAimd(CongestionControl):
+    """Halve on any congestion signal, AI otherwise."""
+
+    __slots__ = ()
+
+    def on_ack(self, now: int, marked: bool, seq: int, snd_nxt: int) -> None:
+        if marked:
+            self._try_cut(0.5, seq, snd_nxt)
+        else:
+            self._grow()
+
+    def on_congestion(self, now: int, seq: int, snd_nxt: int, severe: bool) -> None:
+        self._try_cut(0.5, seq, snd_nxt)

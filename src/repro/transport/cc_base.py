@@ -1,0 +1,109 @@
+"""Congestion-control interface.
+
+The paper's transport (§4.1) is DCTCP-like: the window resets on timeout,
+decreases on marked ACKs or NACKs, and increases on unmarked ACKs.
+
+Multiplicative decreases are **recovery-epoch anchored**, the classic
+NewReno/SACK rule: when a cut happens, the recovery point is set to the
+highest sequence sent so far, and no further cut is taken for signals
+about packets inside that window — one reduction per window of data, which
+stays correct when one burst loses thousands of packets whose loss reports
+trickle in over many RTTs.  The property the paper exploits emerges
+naturally: the *first* cut (and every retransmission) happens one feedback
+delay after the overload — microseconds when the congestion point is the
+proxy's down-ToR, milliseconds when it is the remote receiver's.
+"""
+
+from __future__ import annotations
+
+
+class CongestionControl:
+    """Window state machine driven by ACK/NACK/timeout signals.
+
+    Congestion signals carry the sequence number they refer to plus
+    ``snd_nxt`` — the sender's next fresh sequence — which anchors the
+    recovery epoch.
+    """
+
+    __slots__ = ("cwnd", "ssthresh", "min_cwnd", "recovery_seq", "cuts", "timeouts")
+
+    def __init__(self, initial_cwnd_packets: float, min_cwnd_packets: float = 1.0) -> None:
+        self.cwnd = max(initial_cwnd_packets, min_cwnd_packets)
+        self.ssthresh = self.cwnd
+        self.min_cwnd = min_cwnd_packets
+        self.recovery_seq = -1
+        self.cuts = 0
+        self.timeouts = 0
+
+    # -- signals -------------------------------------------------------------
+
+    def on_ack(self, now: int, marked: bool, seq: int, snd_nxt: int) -> None:
+        """One ACK arrived; ``marked`` is the ECN echo, ``seq`` the echoed
+        data sequence, ``snd_nxt`` the sender's next fresh sequence."""
+        raise NotImplementedError
+
+    def on_congestion(self, now: int, seq: int, snd_nxt: int, severe: bool) -> None:
+        """A loss signal (NACK or inferred loss) arrived for ``seq``;
+        ``severe`` distinguishes loss from a plain mark."""
+        raise NotImplementedError
+
+    def on_timeout(self, now: int, snd_nxt: int) -> None:
+        """The retransmission timer fired: reset the window (paper §4.1)."""
+        self.timeouts += 1
+        self.ssthresh = max(self.cwnd / 2, 2 * self.min_cwnd)
+        self.cwnd = self.min_cwnd
+        self.recovery_seq = snd_nxt
+
+    # -- queries -------------------------------------------------------------
+
+    def can_send(self, pipe_packets: int) -> bool:
+        """May another packet enter the network given ``pipe_packets`` in flight?"""
+        return pipe_packets < self.cwnd
+
+    # -- shared helpers --------------------------------------------------------
+
+    def _try_cut(self, factor: float, seq: int, snd_nxt: int) -> bool:
+        """Apply one multiplicative decrease if ``seq`` starts a new recovery
+        epoch (it lies at or beyond the previous epoch's recovery point)."""
+        if seq < self.recovery_seq:
+            return False
+        self.cwnd = max(self.cwnd * factor, self.min_cwnd)
+        self.ssthresh = max(self.cwnd, 2 * self.min_cwnd)
+        self.recovery_seq = snd_nxt
+        self.cuts += 1
+        return True
+
+    def _grow(self, packets: float = 1.0) -> None:
+        """Slow start below ssthresh, additive increase above."""
+        if self.cwnd < self.ssthresh:
+            self.cwnd += packets
+        else:
+            self.cwnd += packets / self.cwnd
+
+
+class UnlimitedWindow(CongestionControl):
+    """No congestion control: always allowed to send.
+
+    Used by the Naive proxy's long leg — per the paper, proxy_S "sends a
+    packet onto the wire as long as the queue at proxy_R is non-empty and
+    there is bandwidth available", i.e. it is NIC-paced, not window-paced.
+    Reliability (retransmission) still applies; timeouts are counted but do
+    not reset anything.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(initial_cwnd_packets=float("inf"))
+
+    def on_ack(self, now: int, marked: bool, seq: int, snd_nxt: int) -> None:
+        """Ignore ACK-based signals."""
+
+    def on_congestion(self, now: int, seq: int, snd_nxt: int, severe: bool) -> None:
+        """Ignore loss signals (retransmission still happens at the sender)."""
+
+    def on_timeout(self, now: int, snd_nxt: int) -> None:
+        self.timeouts += 1
+
+    def can_send(self, pipe_packets: int) -> bool:
+        return True

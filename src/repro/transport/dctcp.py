@@ -1,0 +1,54 @@
+"""DCTCP-like congestion control (paper §4.1).
+
+Per the paper: the window resets on timeout, decreases on marked ACKs or
+NACKs, and increases on unmarked ACKs.  The decrease is ECN-fraction
+weighted like DCTCP: an EWMA ``alpha`` of the marking rate scales the
+multiplicative cut ``cwnd *= 1 - alpha/2``.  ``alpha`` starts at 1 so the
+first congestion event halves the window.
+
+Cuts follow the classic one-per-window recovery-epoch rule (see
+:mod:`repro.transport.cc_base`); the paper's proxy advantage comes from
+*when* the first signal of an epoch arrives — microseconds after the
+overload at the proxy's down-ToR versus milliseconds from the remote
+receiver.
+"""
+
+from __future__ import annotations
+
+from repro.transport.cc_base import CongestionControl
+
+
+class DctcpLike(CongestionControl):
+    """ECN-proportional multiplicative decrease, NACK-aware."""
+
+    __slots__ = ("alpha", "gain", "nack_cut_factor", "marks_seen", "acks_seen")
+
+    def __init__(
+        self,
+        initial_cwnd_packets: float,
+        min_cwnd_packets: float = 1.0,
+        gain: float = 0.0625,
+        nack_cut_factor: float = 0.5,
+    ) -> None:
+        super().__init__(initial_cwnd_packets, min_cwnd_packets)
+        self.alpha = 1.0
+        self.gain = gain
+        self.nack_cut_factor = nack_cut_factor
+        self.marks_seen = 0
+        self.acks_seen = 0
+
+    def on_ack(self, now: int, marked: bool, seq: int, snd_nxt: int) -> None:
+        self.acks_seen += 1
+        if marked:
+            self.marks_seen += 1
+            self.alpha += self.gain * (1.0 - self.alpha)
+            self._try_cut(1.0 - self.alpha / 2.0, seq, snd_nxt)
+        else:
+            self.alpha += self.gain * (0.0 - self.alpha)
+            self._grow()
+
+    def on_congestion(self, now: int, seq: int, snd_nxt: int, severe: bool) -> None:
+        # NACKs and inferred losses cut harder than marks: the queue
+        # already overflowed, so alpha-weighting would under-react.
+        self.alpha += self.gain * (1.0 - self.alpha)
+        self._try_cut(self.nack_cut_factor, seq, snd_nxt)

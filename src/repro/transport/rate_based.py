@@ -1,0 +1,106 @@
+"""A simplified BBR-like rate-based congestion controller.
+
+Paper §5 (Future Work #1) conjectures that loss-signal quality matters
+less under BBR because "BBR is more resilient to loss".  To make that
+testable, this controller sizes its window from a *measured delivery
+rate* instead of loss-driven multiplicative decrease:
+
+* every ACK feeds a windowed-maximum filter of the delivery rate
+  (ACK arrivals per unit time times the segment size);
+* the congestion window is ``gain x btlbw_estimate x min_rtt``;
+* NACKs and inferred losses trigger retransmission (the sender handles
+  that) but do **not** cut the window;
+* a timeout still resets to a conservative window (even BBR backs off on
+  RTO), refilling as fresh rate samples arrive.
+
+This is deliberately a *model* of BBR's behaviour class — rate-driven,
+loss-agnostic — not a re-implementation of BBRv1's state machine; it is
+exactly enough to ask the paper's question: do detector false positives
+hurt a loss-agnostic sender less?
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import TransportError
+from repro.transport.cc_base import CongestionControl
+from repro.units import PS_PER_S, microseconds
+
+
+class RateBased(CongestionControl):
+    """Windowed-max delivery-rate estimator driving the window."""
+
+    __slots__ = (
+        "payload_bytes",
+        "min_rtt_ps",
+        "gain",
+        "startup_window",
+        "_ack_times",
+        "_rate_samples",
+        "btlbw_bps",
+    )
+
+    #: Number of ACK inter-arrivals folded into one delivery-rate sample.
+    SAMPLE_ACKS = 8
+    #: Length of the windowed-max filter, in samples.
+    FILTER_LEN = 32
+
+    def __init__(
+        self,
+        initial_cwnd_packets: float,
+        payload_bytes: int,
+        min_rtt_ps: int,
+        min_cwnd_packets: float = 1.0,
+        gain: float = 1.25,
+    ) -> None:
+        if payload_bytes <= 0 or min_rtt_ps <= 0:
+            raise TransportError("payload_bytes and min_rtt_ps must be positive")
+        super().__init__(initial_cwnd_packets, min_cwnd_packets)
+        self.payload_bytes = payload_bytes
+        self.min_rtt_ps = min_rtt_ps
+        self.gain = gain
+        self.startup_window = initial_cwnd_packets
+        self._ack_times: deque[int] = deque(maxlen=self.SAMPLE_ACKS + 1)
+        self._rate_samples: deque[float] = deque(maxlen=self.FILTER_LEN)
+        self.btlbw_bps = 0.0
+
+    # -- signals -------------------------------------------------------------
+
+    def on_ack(self, now: int, marked: bool, seq: int, snd_nxt: int) -> None:
+        self._ack_times.append(now)
+        if len(self._ack_times) > self.SAMPLE_ACKS:
+            span = self._ack_times[-1] - self._ack_times[0]
+            if span > 0:
+                delivered_bits = self.SAMPLE_ACKS * self.payload_bytes * 8
+                self._rate_samples.append(delivered_bits * PS_PER_S / span)
+                self.btlbw_bps = max(self._rate_samples)
+                self._update_window()
+
+    def on_congestion(self, now: int, seq: int, snd_nxt: int, severe: bool) -> None:
+        """Loss-agnostic: retransmission happens, the window does not move."""
+
+    def on_timeout(self, now: int, snd_nxt: int) -> None:
+        """A real stall: restart from a conservative window."""
+        self.timeouts += 1
+        self.cwnd = max(self.min_cwnd, self.startup_window / 8)
+        self._ack_times.clear()
+        self._rate_samples.clear()
+        self.btlbw_bps = 0.0
+
+    # -- internals --------------------------------------------------------------
+
+    def _update_window(self) -> None:
+        bdp_bytes = self.btlbw_bps * self.min_rtt_ps / (8 * PS_PER_S)
+        target = self.gain * bdp_bytes / self.payload_bytes
+        self.cwnd = max(self.min_cwnd, target)
+
+
+def make_rate_based(cfg, initial_cwnd_packets: float, base_rtt_ps: int) -> RateBased:
+    """Factory used by the connection layer."""
+    return RateBased(
+        initial_cwnd_packets,
+        payload_bytes=cfg.payload_bytes,
+        min_rtt_ps=max(base_rtt_ps, microseconds(1)),
+        min_cwnd_packets=cfg.min_cwnd_packets,
+    )

@@ -1,0 +1,48 @@
+"""RTT estimation and retransmission-timeout computation (RFC 6298 style).
+
+The estimator is seeded with the path's propagation RTT so the very first
+RTO is sane, then updated from per-ACK samples (``now - ts_echo``; the
+echoed timestamp always belongs to the copy that was actually delivered,
+so Karn's ambiguity does not arise).
+"""
+
+from __future__ import annotations
+
+
+class RttEstimator:
+    """Smoothed RTT + variance with an RFC 6298 RTO formula."""
+
+    __slots__ = ("srtt", "rttvar", "min_rtt", "_has_sample", "min_rto", "max_rto")
+
+    #: Standard EWMA gains from RFC 6298.
+    ALPHA = 0.125
+    BETA = 0.25
+
+    def __init__(self, initial_rtt_ps: int, min_rto_ps: int, max_rto_ps: int) -> None:
+        self.srtt = float(initial_rtt_ps)
+        self.rttvar = initial_rtt_ps / 2
+        self.min_rtt = initial_rtt_ps
+        self._has_sample = False
+        self.min_rto = min_rto_ps
+        self.max_rto = max_rto_ps
+
+    def on_sample(self, sample_ps: int) -> None:
+        """Fold one RTT sample into the smoothed estimates."""
+        if sample_ps <= 0:
+            return
+        if sample_ps < self.min_rtt:
+            self.min_rtt = sample_ps
+        if not self._has_sample:
+            self.srtt = float(sample_ps)
+            self.rttvar = sample_ps / 2
+            self._has_sample = True
+            return
+        err = sample_ps - self.srtt
+        self.rttvar += self.BETA * (abs(err) - self.rttvar)
+        self.srtt += self.ALPHA * err
+
+    def rto_ps(self, backoff: int = 0) -> int:
+        """Current RTO, doubled ``backoff`` times, clamped to [min, max]."""
+        rto = self.srtt + 4 * self.rttvar
+        rto = max(self.min_rto, round(rto)) << backoff
+        return min(rto, self.max_rto)

@@ -1,0 +1,237 @@
+"""Unit-safe arithmetic for time, bandwidth, and data sizes.
+
+The simulator keeps time as **integer picoseconds** so that serialization
+delays at datacenter link speeds stay exact (100 Gb/s is exactly 80 ps per
+byte) and event ordering never suffers floating-point drift.  Bandwidth is
+kept in **bits per second** and sizes in **bytes**; the conversion helpers
+below are the only place the three meet.
+
+All public functions accept plain numbers; strings such as ``"100Gbps"``,
+``"1ms"`` or ``"25MB"`` are accepted by the ``parse_*`` helpers, which is
+convenient for configuration files and CLI flags.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import UnitError
+
+# ---------------------------------------------------------------------------
+# Time: integer picoseconds.
+# ---------------------------------------------------------------------------
+
+PS_PER_NS = 1_000
+PS_PER_US = 1_000_000
+PS_PER_MS = 1_000_000_000
+PS_PER_S = 1_000_000_000_000
+
+
+def picoseconds(value: float) -> int:
+    """Round ``value`` (in ps) to an integer tick."""
+    return round(value)
+
+
+def nanoseconds(value: float) -> int:
+    """Convert nanoseconds to integer picoseconds."""
+    return round(value * PS_PER_NS)
+
+
+def microseconds(value: float) -> int:
+    """Convert microseconds to integer picoseconds."""
+    return round(value * PS_PER_US)
+
+
+def milliseconds(value: float) -> int:
+    """Convert milliseconds to integer picoseconds."""
+    return round(value * PS_PER_MS)
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer picoseconds."""
+    return round(value * PS_PER_S)
+
+
+def to_seconds(ps: int) -> float:
+    """Convert integer picoseconds to float seconds (for reporting only)."""
+    return ps / PS_PER_S
+
+
+def to_microseconds(ps: int) -> float:
+    """Convert integer picoseconds to float microseconds (for reporting only)."""
+    return ps / PS_PER_US
+
+
+def to_milliseconds(ps: int) -> float:
+    """Convert integer picoseconds to float milliseconds (for reporting only)."""
+    return ps / PS_PER_MS
+
+
+# ---------------------------------------------------------------------------
+# Bandwidth: bits per second.
+# ---------------------------------------------------------------------------
+
+def gbps(value: float) -> float:
+    """Gigabits per second to bits per second."""
+    return value * 1e9
+
+
+def mbps(value: float) -> float:
+    """Megabits per second to bits per second."""
+    return value * 1e6
+
+
+def serialization_delay_ps(size_bytes: int, rate_bps: float) -> int:
+    """Time to clock ``size_bytes`` onto a link of ``rate_bps``.
+
+    Rounds to the nearest picosecond; at 100 Gb/s the result is exact for
+    any whole number of bytes.
+    """
+    if rate_bps <= 0:
+        raise UnitError(f"link rate must be positive, got {rate_bps!r}")
+    if size_bytes < 0:
+        raise UnitError(f"packet size must be non-negative, got {size_bytes!r}")
+    return round(size_bytes * 8 * PS_PER_S / rate_bps)
+
+
+def bandwidth_delay_product_bytes(rate_bps: float, rtt_ps: int) -> int:
+    """Bytes in flight to fill a path of ``rate_bps`` and round-trip ``rtt_ps``."""
+    if rate_bps <= 0:
+        raise UnitError(f"link rate must be positive, got {rate_bps!r}")
+    if rtt_ps < 0:
+        raise UnitError(f"RTT must be non-negative, got {rtt_ps!r}")
+    return round(rate_bps * rtt_ps / (8 * PS_PER_S))
+
+
+# ---------------------------------------------------------------------------
+# Data sizes: bytes.  Decimal prefixes, matching the paper's usage
+# (100 MB incast = 1e8 bytes, 17.015 MB buffer = 17_015_000 bytes).
+# ---------------------------------------------------------------------------
+
+def kilobytes(value: float) -> int:
+    """Decimal kilobytes to bytes."""
+    return round(value * 1e3)
+
+
+def megabytes(value: float) -> int:
+    """Decimal megabytes to bytes."""
+    return round(value * 1e6)
+
+
+def gigabytes(value: float) -> int:
+    """Decimal gigabytes to bytes."""
+    return round(value * 1e9)
+
+
+# ---------------------------------------------------------------------------
+# String parsing.
+# ---------------------------------------------------------------------------
+
+_QUANTITY_RE = re.compile(
+    r"^\s*([0-9]*\.?[0-9]+(?:[eE][+-]?[0-9]+)?)\s*([a-zA-Z/]*)\s*$"
+)
+
+_TIME_SUFFIXES = {
+    "ps": 1,
+    "ns": PS_PER_NS,
+    "us": PS_PER_US,
+    "ms": PS_PER_MS,
+    "s": PS_PER_S,
+}
+
+_RATE_SUFFIXES = {
+    "bps": 1.0,
+    "kbps": 1e3,
+    "mbps": 1e6,
+    "gbps": 1e9,
+    "tbps": 1e12,
+}
+
+_SIZE_SUFFIXES = {
+    "b": 1.0,
+    "kb": 1e3,
+    "mb": 1e6,
+    "gb": 1e9,
+    "tb": 1e12,
+}
+
+
+def _split(text: str) -> tuple[float, str]:
+    match = _QUANTITY_RE.match(text)
+    if match is None:
+        raise UnitError(f"cannot parse quantity {text!r}")
+    return float(match.group(1)), match.group(2).lower()
+
+
+def parse_duration(text: str | int | float) -> int:
+    """Parse a duration such as ``"1ms"`` or ``"250us"`` into picoseconds.
+
+    Bare numbers are interpreted as picoseconds.
+    """
+    if isinstance(text, (int, float)):
+        return round(text)
+    value, suffix = _split(text)
+    if suffix == "":
+        return round(value)
+    try:
+        return round(value * _TIME_SUFFIXES[suffix])
+    except KeyError:
+        raise UnitError(f"unknown time unit {suffix!r} in {text!r}") from None
+
+
+def parse_rate(text: str | int | float) -> float:
+    """Parse a bandwidth such as ``"100Gbps"`` into bits per second.
+
+    Bare numbers are interpreted as bits per second.
+    """
+    if isinstance(text, (int, float)):
+        return float(text)
+    value, suffix = _split(text)
+    if suffix == "":
+        return value
+    try:
+        return value * _RATE_SUFFIXES[suffix]
+    except KeyError:
+        raise UnitError(f"unknown rate unit {suffix!r} in {text!r}") from None
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a data size such as ``"100MB"`` or ``"33.2KB"`` into bytes.
+
+    Bare numbers are interpreted as bytes.
+    """
+    if isinstance(text, (int, float)):
+        return round(text)
+    value, suffix = _split(text)
+    if suffix == "":
+        return round(value)
+    try:
+        return round(value * _SIZE_SUFFIXES[suffix])
+    except KeyError:
+        raise UnitError(f"unknown size unit {suffix!r} in {text!r}") from None
+
+
+def format_duration(ps: int) -> str:
+    """Render picoseconds with an adaptive unit, for reports and logs."""
+    magnitude = abs(ps)
+    if magnitude >= PS_PER_S:
+        return f"{ps / PS_PER_S:.3f}s"
+    if magnitude >= PS_PER_MS:
+        return f"{ps / PS_PER_MS:.3f}ms"
+    if magnitude >= PS_PER_US:
+        return f"{ps / PS_PER_US:.3f}us"
+    if magnitude >= PS_PER_NS:
+        return f"{ps / PS_PER_NS:.3f}ns"
+    return f"{ps}ps"
+
+
+def format_size(size_bytes: int) -> str:
+    """Render a byte count with an adaptive decimal unit."""
+    magnitude = abs(size_bytes)
+    if magnitude >= 1e9:
+        return f"{size_bytes / 1e9:.2f}GB"
+    if magnitude >= 1e6:
+        return f"{size_bytes / 1e6:.2f}MB"
+    if magnitude >= 1e3:
+        return f"{size_bytes / 1e3:.2f}KB"
+    return f"{size_bytes}B"

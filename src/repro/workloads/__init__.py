@@ -1,0 +1,35 @@
+"""Workload generators for the paper's §2 motivating applications.
+
+Each generator produces :class:`IncastJob` descriptions — groups of flows
+converging on one receiver — which the experiment runner and the
+orchestration runner turn into simulated traffic:
+
+* :mod:`repro.workloads.incast` — the basic fixed-degree incast of §4;
+* :mod:`repro.workloads.moe` — Mixture-of-Experts dispatch/combine
+  all-to-all phases (each expert is an incast receiver);
+* :mod:`repro.workloads.storage` — erasure-coded fragment reconstruction
+  (k fragments read simultaneously to rebuild one);
+* :mod:`repro.workloads.georeplication` — strongly consistent quorum
+  writes aggregating at a primary.
+"""
+
+from repro.workloads.arrivals import ArrivalConfig, periodic_incasts, poisson_incasts
+from repro.workloads.incast import IncastJob, uniform_incast
+from repro.workloads.moe import MoEConfig, moe_combine_jobs, moe_dispatch_jobs
+from repro.workloads.storage import ReconstructionConfig, reconstruction_jobs
+from repro.workloads.georeplication import QuorumConfig, quorum_write_jobs
+
+__all__ = [
+    "ArrivalConfig",
+    "IncastJob",
+    "MoEConfig",
+    "QuorumConfig",
+    "ReconstructionConfig",
+    "moe_combine_jobs",
+    "moe_dispatch_jobs",
+    "periodic_incasts",
+    "poisson_incasts",
+    "quorum_write_jobs",
+    "reconstruction_jobs",
+    "uniform_incast",
+]

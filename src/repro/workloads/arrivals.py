@@ -1,0 +1,104 @@
+"""Incasts arriving over time (Poisson process).
+
+FW#3's orchestration questions only bite under *churn*: incasts arriving
+while others are in flight, proxies being released and re-used, load
+estimates going stale.  This generator produces a Poisson arrival stream
+of incast jobs with configurable degree and size distributions, mapped
+onto the sending datacenter's servers round-robin so concurrent jobs can
+share senders-free proxy candidates.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.workloads.incast import IncastJob
+
+
+@dataclass(frozen=True)
+class ArrivalConfig:
+    """A Poisson stream of incasts."""
+
+    jobs: int = 8
+    mean_interarrival_ps: int = 2_000_000_000  # 2 ms
+    degree: int = 2
+    total_bytes_mean: int = 10_000_000
+    total_bytes_jitter: float = 0.3  # +/- fraction of the mean
+    receivers: int = 4  # distinct receiver slots to rotate over
+    sender_pool: int = 8  # sending-side server slots to rotate over
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise WorkloadError("jobs must be at least 1")
+        if self.mean_interarrival_ps <= 0:
+            raise WorkloadError("mean_interarrival_ps must be positive")
+        if self.degree < 1 or self.degree > self.sender_pool:
+            raise WorkloadError("degree must be in [1, sender_pool]")
+        if not 0 <= self.total_bytes_jitter < 1:
+            raise WorkloadError("jitter must be in [0, 1)")
+        if self.receivers < 1:
+            raise WorkloadError("receivers must be at least 1")
+
+
+def periodic_incasts(
+    bursts: int,
+    period_ps: int,
+    degree: int = 4,
+    total_bytes: int = 10_000_000,
+    receiver_index: int = 0,
+    sender_offset: int = 0,
+    name: str = "burst",
+) -> list[IncastJob]:
+    """A strictly periodic incast train (ML-training-style synchronization).
+
+    The pattern-aware controller's target: identical bursts every
+    ``period_ps``, all aimed at one destination.
+    """
+    if bursts < 1:
+        raise WorkloadError("bursts must be at least 1")
+    if period_ps <= 0:
+        raise WorkloadError("period_ps must be positive")
+    base, extra = divmod(total_bytes, degree)
+    return [
+        IncastJob(
+            name=f"{name}{i}",
+            sender_indices=tuple(range(sender_offset, sender_offset + degree)),
+            receiver_index=receiver_index,
+            flow_bytes=tuple(base + (1 if k < extra else 0) for k in range(degree)),
+            start_ps=i * period_ps,
+        )
+        for i in range(bursts)
+    ]
+
+
+def poisson_incasts(cfg: ArrivalConfig) -> list[IncastJob]:
+    """Generate the arrival stream, ordered by start time."""
+    rng = random.Random(cfg.seed)
+    jobs: list[IncastJob] = []
+    now = 0
+    for index in range(cfg.jobs):
+        now += round(rng.expovariate(1.0 / cfg.mean_interarrival_ps))
+        total = max(
+            cfg.degree,
+            round(cfg.total_bytes_mean
+                  * (1 + rng.uniform(-cfg.total_bytes_jitter, cfg.total_bytes_jitter))),
+        )
+        offset = (index * cfg.degree) % cfg.sender_pool
+        senders = tuple(
+            (offset + k) % cfg.sender_pool for k in range(cfg.degree)
+        )
+        base, extra = divmod(total, cfg.degree)
+        jobs.append(
+            IncastJob(
+                name=f"arrival{index}",
+                sender_indices=senders,
+                receiver_index=index % cfg.receivers,
+                flow_bytes=tuple(base + (1 if k < extra else 0)
+                                 for k in range(cfg.degree)),
+                start_ps=now,
+            )
+        )
+    return jobs

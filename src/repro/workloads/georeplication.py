@@ -1,0 +1,63 @@
+"""Geo-replicated quorum-write synchronization (paper §2).
+
+Strongly consistent stores (Spanner-style [21, 58]) synchronize writes
+across a quorum of replicas.  The replica leader in another region absorbs
+simultaneous write batches from many front-end shards — an incast whose
+degree is the number of shards flushing in the same epoch.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.workloads.incast import IncastJob
+
+
+@dataclass(frozen=True)
+class QuorumConfig:
+    """One epoch of write synchronization."""
+
+    shards: int = 16  # front-end shards flushing writes
+    batch_bytes_mean: int = 4_000_000
+    batch_bytes_jitter: float = 0.5  # +/- fraction of the mean
+    epochs: int = 1
+    epoch_interval_ps: int = 0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.shards < 1 or self.batch_bytes_mean < 1:
+            raise WorkloadError("shards and batch size must be at least 1")
+        if not 0 <= self.batch_bytes_jitter < 1:
+            raise WorkloadError("jitter must be in [0, 1)")
+        if self.epochs < 1:
+            raise WorkloadError("epochs must be at least 1")
+
+
+def quorum_write_jobs(cfg: QuorumConfig) -> list[IncastJob]:
+    """One incast per epoch: every shard flushes a jittered batch to the
+    remote replica leader."""
+    rng = random.Random(cfg.seed)
+    jobs: list[IncastJob] = []
+    for epoch in range(cfg.epochs):
+        sizes = tuple(
+            max(
+                1,
+                round(
+                    cfg.batch_bytes_mean
+                    * (1 + rng.uniform(-cfg.batch_bytes_jitter, cfg.batch_bytes_jitter))
+                ),
+            )
+            for _ in range(cfg.shards)
+        )
+        jobs.append(
+            IncastJob(
+                name=f"quorum-epoch{epoch}",
+                sender_indices=tuple(range(cfg.shards)),
+                receiver_index=0,
+                flow_bytes=sizes,
+                start_ps=epoch * cfg.epoch_interval_ps,
+            )
+        )
+    return jobs

@@ -1,0 +1,55 @@
+"""Erasure-coded fragment reconstruction (paper §2).
+
+When a requested fragment is unavailable, the orchestrator reads the
+other fragments of the stripe from different servers to reconstruct it —
+a degree-``k`` incast of one fragment each (Azure-style k-of-n codes
+[11, 31]).  With storage stamps spanning datacenters, the reads cross
+long-haul links.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.workloads.incast import IncastJob
+
+
+@dataclass(frozen=True)
+class ReconstructionConfig:
+    """One reconstruction burst."""
+
+    data_fragments: int = 6  # k: fragments read to reconstruct (e.g. LRC 6+3)
+    fragment_bytes: int = 16_000_000
+    servers: int = 64  # servers the stripe is spread over
+    reconstructions: int = 1  # simultaneous failed reads
+    spread_ps: int = 0  # arrival spread between reconstructions
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.data_fragments < 1 or self.fragment_bytes < 1:
+            raise WorkloadError("fragments and sizes must be at least 1")
+        if self.servers < self.data_fragments:
+            raise WorkloadError("need at least as many servers as fragments")
+        if self.reconstructions < 1:
+            raise WorkloadError("reconstructions must be at least 1")
+
+
+def reconstruction_jobs(cfg: ReconstructionConfig) -> list[IncastJob]:
+    """One incast per reconstruction: ``k`` random stripe servers send one
+    fragment each to the reconstructing orchestrator node."""
+    rng = random.Random(cfg.seed)
+    jobs: list[IncastJob] = []
+    for i in range(cfg.reconstructions):
+        stripe = tuple(sorted(rng.sample(range(cfg.servers), cfg.data_fragments)))
+        jobs.append(
+            IncastJob(
+                name=f"reconstruct{i}",
+                sender_indices=stripe,
+                receiver_index=i,
+                flow_bytes=(cfg.fragment_bytes,) * cfg.data_fragments,
+                start_ps=i * cfg.spread_ps,
+            )
+        )
+    return jobs

@@ -1,0 +1,112 @@
+"""Shared fixtures: simulators, tiny networks, fast transport configs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import (
+    FabricConfig,
+    InterDcConfig,
+    QueueSpec,
+    TransportConfig,
+    small_interdc_config,
+)
+from repro.net.network import Network
+from repro.net.node import Host
+from repro.net.queues import HostQueue
+from repro.sim.simulator import Simulator
+from repro.units import gbps, kilobytes, megabytes, microseconds
+
+
+@pytest.fixture()
+def sim() -> Simulator:
+    """A fresh simulator with a fixed seed."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    """A deterministic RNG for direct queue/distribution tests."""
+    return random.Random(7)
+
+
+@pytest.fixture()
+def transport_cfg() -> TransportConfig:
+    """A small-payload transport config for fast tests."""
+    return TransportConfig(payload_bytes=1024)
+
+
+@pytest.fixture()
+def tiny_interdc() -> InterDcConfig:
+    """The shrunken two-DC topology used across integration tests."""
+    return small_interdc_config()
+
+
+def build_pair(sim: Simulator, rate_bps: float = gbps(10), delay_ps: int = microseconds(1),
+               queue_capacity: int = megabytes(1)) -> tuple[Network, Host, Host]:
+    """Two hosts joined by one switch — the smallest routable network."""
+    net = Network(sim)
+    a = net.add_host("a")
+    b = net.add_host("b")
+    s = net.add_switch("s")
+    switch_spec = QueueSpec(
+        kind="ecn",
+        capacity_bytes=queue_capacity,
+        ecn_low_bytes=kilobytes(33.2),
+        ecn_high_bytes=kilobytes(136.95),
+    )
+    host_spec = QueueSpec(kind="host", capacity_bytes=megabytes(100))
+    for host in (a, b):
+        net.connect(
+            host, s, rate_bps, delay_ps,
+            queue_ab=host_spec.build(sim.rng.stream(f"q:{host.name}")),
+            queue_ba=switch_spec.build(sim.rng.stream(f"q:s->{host.name}")),
+        )
+    net.finalize()
+    return net, a, b
+
+
+def build_incast_star(
+    sim: Simulator,
+    senders: int,
+    rate_bps: float = gbps(10),
+    delay_ps: int = microseconds(1),
+    bottleneck_capacity: int = kilobytes(300),
+    trimming: bool = False,
+) -> tuple[Network, list[Host], Host]:
+    """N senders -> one switch -> one receiver, with a shallow bottleneck."""
+    net = Network(sim)
+    receiver = net.add_host("rx")
+    s = net.add_switch("s")
+    kind = "trimming" if trimming else "ecn"
+    bottleneck = QueueSpec(
+        kind=kind,
+        capacity_bytes=bottleneck_capacity,
+        ecn_low_bytes=kilobytes(33.2),
+        ecn_high_bytes=min(kilobytes(136.95), bottleneck_capacity),
+    )
+    host_spec = QueueSpec(kind="host", capacity_bytes=megabytes(500))
+    net.connect(
+        receiver, s, rate_bps, delay_ps,
+        queue_ab=host_spec.build(sim.rng.stream("q:rx")),
+        queue_ba=bottleneck.build(sim.rng.stream("q:s->rx")),
+    )
+    hosts = []
+    uplink = QueueSpec(
+        kind=kind,
+        capacity_bytes=megabytes(4),
+        ecn_low_bytes=kilobytes(33.2),
+        ecn_high_bytes=kilobytes(136.95),
+    )
+    for i in range(senders):
+        h = net.add_host(f"tx{i}")
+        hosts.append(h)
+        net.connect(
+            h, s, rate_bps, delay_ps,
+            queue_ab=host_spec.build(sim.rng.stream(f"q:tx{i}")),
+            queue_ba=uplink.build(sim.rng.stream(f"q:s->tx{i}")),
+        )
+    net.finalize()
+    return net, hosts, receiver

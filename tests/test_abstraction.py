@@ -1,0 +1,105 @@
+"""The incast programming abstraction and the deployment planner."""
+
+import pytest
+
+from repro.abstraction import AppGraph, DeploymentPlanner
+from repro.config import TransportConfig, small_interdc_config
+from repro.errors import ConfigError
+from repro.units import kilobytes
+
+
+def moe_like_app():
+    app = AppGraph("trainer")
+    app.add_component("workers", replicas=4)
+    app.add_component("expert", replicas=1)
+    app.declare_incast("dispatch", senders=["workers"], receiver="expert",
+                       bytes_per_burst=kilobytes(20_000), periodic=True)
+    return app
+
+
+class TestAppGraph:
+    def test_declare_components_and_incast(self):
+        app = moe_like_app()
+        assert app.components["workers"].replicas == 4
+        assert app.incasts[0].periodic
+        assert app.sender_instances(app.incasts[0]) == 4
+
+    def test_duplicate_component_rejected(self):
+        app = AppGraph("x")
+        app.add_component("a")
+        with pytest.raises(ConfigError):
+            app.add_component("a")
+
+    def test_unknown_component_in_incast_rejected(self):
+        app = AppGraph("x")
+        app.add_component("a")
+        with pytest.raises(ConfigError):
+            app.declare_incast("i", senders=["ghost"], receiver="a", bytes_per_burst=1)
+
+    def test_receiver_cannot_send(self):
+        app = AppGraph("x")
+        app.add_component("a")
+        app.add_component("b")
+        with pytest.raises(ConfigError):
+            app.declare_incast("i", senders=["a", "b"], receiver="b", bytes_per_burst=1)
+
+
+class TestPlanner:
+    def test_cross_dc_incast_is_planned(self):
+        app = moe_like_app()
+        planner = DeploymentPlanner(app, {"workers": 0, "expert": 1})
+        plan = planner.plan()
+        assert len(plan.interdc_incasts) == 1
+        job = plan.jobs()[0]
+        assert job.degree == 4
+        assert job.total_bytes == kilobytes(20_000)
+
+    def test_colocated_incast_not_rewritten(self):
+        app = moe_like_app()
+        planner = DeploymentPlanner(app, {"workers": 0, "expert": 0})
+        plan = planner.plan()
+        assert plan.interdc_incasts == []
+        assert not plan.planned[0].crosses_datacenters
+
+    def test_slots_are_disjoint_per_dc(self):
+        app = AppGraph("x")
+        app.add_component("a", replicas=3)
+        app.add_component("b", replicas=2)
+        app.add_component("rx", replicas=1)
+        planner = DeploymentPlanner(app, {"a": 0, "b": 0, "rx": 1})
+        assert set(planner.slots("a")) & set(planner.slots("b")) == set()
+        assert planner.slots("rx") == (0,)
+
+    def test_missing_placement_rejected(self):
+        app = moe_like_app()
+        with pytest.raises(ConfigError):
+            DeploymentPlanner(app, {"workers": 0})
+
+    def test_invalid_dc_rejected(self):
+        app = moe_like_app()
+        with pytest.raises(ConfigError):
+            DeploymentPlanner(app, {"workers": 0, "expert": 7})
+
+    def test_reverse_direction_unsupported_for_now(self):
+        app = moe_like_app()
+        planner = DeploymentPlanner(app, {"workers": 1, "expert": 0})
+        with pytest.raises(ConfigError):
+            planner.plan()
+
+    def test_execute_proxied_beats_unproxied(self):
+        app = moe_like_app()
+        planner = DeploymentPlanner(app, {"workers": 0, "expert": 1})
+        plan = planner.plan()
+        transport = TransportConfig(payload_bytes=4096)
+        cfg = small_interdc_config()
+        with_proxy = planner.execute(plan, proxied=True, interdc=cfg, transport=transport)
+        without = planner.execute(plan, proxied=False, interdc=cfg, transport=transport)
+        assert with_proxy.completed and without.completed
+        assert with_proxy.mean_ict_ps < without.mean_ict_ps
+
+    def test_execute_without_interdc_incasts_rejected(self):
+        app = moe_like_app()
+        planner = DeploymentPlanner(app, {"workers": 0, "expert": 0})
+        plan = planner.plan()
+        with pytest.raises(ConfigError):
+            planner.execute(plan)

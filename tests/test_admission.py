@@ -1,0 +1,123 @@
+"""The proxy-admission policy (FW#3: which incasts should be proxied)."""
+
+import pytest
+
+from repro.config import TransportConfig, small_interdc_config
+from repro.errors import OrchestrationError
+from repro.orchestration import ProxyAdmissionPolicy, run_concurrent_incasts
+from repro.units import gbps, megabytes, microseconds, milliseconds
+from repro.workloads import uniform_incast
+
+PAPER_BUFFER = 17_015_000
+PAPER_RTT = milliseconds(4)
+INTRA_RTT = microseconds(8)
+
+
+def decide(job, policy=None, **overrides):
+    policy = policy or ProxyAdmissionPolicy()
+    params = dict(
+        bottleneck_bps=gbps(100),
+        interdc_rtt_ps=PAPER_RTT,
+        intra_rtt_ps=INTRA_RTT,
+        bottleneck_buffer_bytes=PAPER_BUFFER,
+    )
+    params.update(overrides)
+    return policy.decide(job, **params)
+
+
+class TestSizeCrossover:
+    """The policy must land the paper's Figure 2 (Right) crossover."""
+
+    @pytest.mark.parametrize("mb,expected", [(10, False), (20, False),
+                                             (50, True), (100, True)])
+    def test_paper_crossover_at_20mb(self, mb, expected):
+        job = uniform_incast("j", degree=4, total_bytes=megabytes(mb))
+        assert decide(job).use_proxy is expected
+
+    def test_degree_one_never_overloads(self):
+        job = uniform_incast("j", degree=1, total_bytes=megabytes(500))
+        decision = decide(job)
+        assert not decision.use_proxy
+        assert decision.overload_bytes <= 0
+
+    def test_burst_capped_by_initial_window(self):
+        # A giant flow still only bursts one BDP in the first RTT.
+        job = uniform_incast("j", degree=2, total_bytes=megabytes(10_000))
+        decision = decide(job)
+        bdp = 50_000_000  # 100G x 4ms
+        assert decision.overload_bytes <= 2 * bdp
+
+    def test_headroom_scales_budget(self):
+        job = uniform_incast("j", degree=4, total_bytes=megabytes(30))
+        tight = ProxyAdmissionPolicy(headroom=0.5)
+        loose = ProxyAdmissionPolicy(headroom=2.0)
+        assert decide(job, tight).use_proxy
+        assert not decide(job, loose).use_proxy
+
+
+class TestLatencyCrossover:
+    def test_short_feedback_loop_rejects_proxy(self):
+        # A shallow buffer keeps the size test positive (loss expected) so
+        # the latency test is what rejects: the 40us "inter-DC" RTT is only
+        # 5x the intra-DC one.
+        job = uniform_incast("j", degree=4, total_bytes=megabytes(100))
+        decision = decide(job, interdc_rtt_ps=microseconds(40),
+                          bottleneck_buffer_bytes=100_000)
+        assert not decision.use_proxy
+        assert "feedback loop" in decision.reason
+
+    def test_ratio_reported(self):
+        job = uniform_incast("j", degree=4, total_bytes=megabytes(100))
+        decision = decide(job)
+        assert decision.rtt_ratio == pytest.approx(PAPER_RTT / INTRA_RTT)
+
+    def test_threshold_configurable(self):
+        job = uniform_incast("j", degree=4, total_bytes=megabytes(100))
+        strict = ProxyAdmissionPolicy(min_rtt_ratio=1000.0)
+        assert not decide(job, strict).use_proxy
+
+
+class TestValidation:
+    def test_policy_params(self):
+        with pytest.raises(OrchestrationError):
+            ProxyAdmissionPolicy(headroom=0)
+        with pytest.raises(OrchestrationError):
+            ProxyAdmissionPolicy(min_rtt_ratio=0.5)
+
+    def test_decide_params(self):
+        job = uniform_incast("j", degree=2, total_bytes=100)
+        with pytest.raises(OrchestrationError):
+            decide(job, bottleneck_bps=0)
+
+
+class TestIntegration:
+    def test_selective_proxying_end_to_end(self):
+        jobs = [
+            uniform_incast("small", degree=2, total_bytes=megabytes(2),
+                           receiver_index=0, sender_offset=0),
+            uniform_incast("large", degree=2, total_bytes=megabytes(20),
+                           receiver_index=1, sender_offset=2),
+        ]
+        result = run_concurrent_incasts(
+            jobs, scheme="streamlined", strategy="central",
+            interdc=small_interdc_config(),
+            transport=TransportConfig(payload_bytes=4096),
+            admission=ProxyAdmissionPolicy(),
+        )
+        assert result.completed
+        assert not result.admission_decisions["small"].use_proxy
+        assert result.admission_decisions["large"].use_proxy
+        assert set(result.proxy_assignments) == {"large"}
+
+    def test_rejected_incast_matches_direct_performance(self):
+        job = [uniform_incast("small", degree=2, total_bytes=megabytes(2))]
+        cfg = small_interdc_config()
+        transport = TransportConfig(payload_bytes=4096)
+        gated = run_concurrent_incasts(
+            job, scheme="streamlined", strategy="central", interdc=cfg,
+            transport=transport, admission=ProxyAdmissionPolicy(),
+        )
+        direct = run_concurrent_incasts(
+            job, scheme="baseline", strategy="none", interdc=cfg, transport=transport,
+        )
+        assert gated.ict_ps["small"] == pytest.approx(direct.ict_ps["small"], rel=0.05)

@@ -1,0 +1,55 @@
+"""Incast behaviour with background cross-traffic on the fabric."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import TransportConfig, small_interdc_config
+from repro.errors import ExperimentError
+from repro.experiments.runner import IncastScenario, run_incast
+from repro.units import megabytes
+
+
+@pytest.fixture(scope="module")
+def busy_scenario():
+    return IncastScenario(
+        degree=4,
+        total_bytes=megabytes(16),
+        interdc=small_interdc_config(),
+        transport=TransportConfig(payload_bytes=4096),
+        background_flows=4,
+        background_bytes=megabytes(20),
+    )
+
+
+class TestBackgroundTraffic:
+    def test_incast_completes_on_busy_fabric(self, busy_scenario):
+        result = run_incast(busy_scenario)
+        assert result.completed
+
+    def test_background_actually_transmits(self, busy_scenario):
+        quiet = run_incast(replace(busy_scenario, background_flows=0))
+        busy = run_incast(busy_scenario)
+        assert busy.counters.tx_bytes > quiet.counters.tx_bytes + megabytes(10)
+
+    def test_proxy_still_wins_under_cross_traffic(self, busy_scenario):
+        baseline = run_incast(busy_scenario)
+        proxied = run_incast(replace(busy_scenario, scheme="streamlined"))
+        assert proxied.ict_ps < 0.5 * baseline.ict_ps
+
+    def test_background_never_blocks_completion_accounting(self, busy_scenario):
+        # background flows are not part of the incast: completion fires on
+        # the incast's own flows even though background data is still moving
+        result = run_incast(busy_scenario)
+        assert len(result.flow_completion_ps) == busy_scenario.degree
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            IncastScenario(background_flows=-1)
+        with pytest.raises(ExperimentError):
+            IncastScenario(background_bytes=0)
+
+    def test_deterministic_with_background(self, busy_scenario):
+        a = run_incast(busy_scenario)
+        b = run_incast(busy_scenario)
+        assert a.ict_ps == b.ict_ps

@@ -1,0 +1,160 @@
+"""Multi-DC chains and cascaded relays."""
+
+import pytest
+
+from repro.config import FabricConfig, QueueSpec, TransportConfig
+from repro.errors import ConfigError, ExperimentError, ProxyError
+from repro.experiments.cascade import CascadeScenario, run_cascade
+from repro.proxy.cascade import build_relay_chain
+from repro.sim.simulator import Simulator
+from repro.topology.multidc import MultiDcConfig, build_multidc
+from repro.units import kilobytes, megabytes, milliseconds
+from dataclasses import replace
+
+
+def small_chain(segments=(milliseconds(1), milliseconds(10))) -> MultiDcConfig:
+    fabric = FabricConfig(
+        spines=2, leaves=2, servers_per_leaf=4,
+        switch_queue=QueueSpec(kind="ecn", capacity_bytes=megabytes(4),
+                               ecn_low_bytes=kilobytes(33.2),
+                               ecn_high_bytes=kilobytes(136.95)),
+    )
+    return MultiDcConfig(
+        fabric=fabric,
+        segment_delays_ps=segments,
+        backbone_per_spine=2,
+        backbone_queue=QueueSpec(kind="ecn", capacity_bytes=megabytes(12),
+                                 ecn_low_bytes=megabytes(2.5),
+                                 ecn_high_bytes=megabytes(10)),
+    )
+
+
+@pytest.fixture()
+def scenario():
+    return CascadeScenario(
+        degree=4, total_bytes=megabytes(12), chain=small_chain(),
+        transport=TransportConfig(payload_bytes=4096),
+    )
+
+
+class TestMultiDcTopology:
+    def test_chain_dimensions(self, sim):
+        topo = build_multidc(sim, small_chain())
+        assert len(topo.fabrics) == 3
+        assert len(topo.backbones) == 2
+        assert all(len(seg) == 4 for seg in topo.backbones)
+
+    def test_end_to_end_delay_sums_segments(self, sim):
+        topo = build_multidc(sim, small_chain())
+        src = topo.hosts(0)[0]
+        dst = topo.hosts(2)[0]
+        one_way = topo.net.min_delay_ps(src.id, dst.id)
+        # 2 long-haul hops per segment + intra-DC hops
+        assert one_way > 2 * (milliseconds(1) + milliseconds(10))
+        assert one_way < 2 * (milliseconds(1) + milliseconds(10)) + milliseconds(1)
+
+    def test_all_dc_pairs_routable(self, sim):
+        topo = build_multidc(sim, small_chain())
+        for a in range(3):
+            for b in range(3):
+                if a != b:
+                    assert topo.net.min_delay_ps(
+                        topo.hosts(a)[0].id, topo.hosts(b)[0].id
+                    ) > 0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            MultiDcConfig(segment_delays_ps=())
+        with pytest.raises(ConfigError):
+            MultiDcConfig(segment_delays_ps=(-1,))
+
+
+class TestRelayChain:
+    def test_chain_delivers_everything(self, sim, transport_cfg):
+        topo = build_multidc(sim, small_chain())
+        src = topo.hosts(0)[0]
+        relay0 = topo.hosts(0)[-1]
+        relay1 = topo.hosts(1)[0]
+        dst = topo.hosts(2)[0]
+        done = []
+        chain = build_relay_chain(
+            topo.net, src, dst, 100_000, transport_cfg, [relay0, relay1],
+            on_complete=lambda r: done.append(sim.now),
+        )
+        chain.start()
+        sim.run(until=milliseconds(500))
+        assert chain.completed and done
+        assert chain.hops == 3
+        assert chain.legs[-1].receiver.stats.bytes_received == 100_000
+
+    def test_intermediate_backlogs_drain(self, sim, transport_cfg):
+        topo = build_multidc(sim, small_chain())
+        chain = build_relay_chain(
+            topo.net, topo.hosts(0)[0], topo.hosts(2)[0], 50_000, transport_cfg,
+            [topo.hosts(0)[-1], topo.hosts(1)[0]],
+        )
+        chain.start()
+        sim.run(until=milliseconds(500))
+        assert chain.completed
+        assert chain.backlog_packets(0) == 0
+        assert chain.backlog_packets(1) == 0
+
+    def test_per_leg_windows_match_segment_bdp(self, sim, transport_cfg):
+        topo = build_multidc(sim, small_chain())
+        chain = build_relay_chain(
+            topo.net, topo.hosts(0)[0], topo.hosts(2)[0], 50_000, transport_cfg,
+            [topo.hosts(0)[-1], topo.hosts(1)[0]],
+        )
+        # hop 0 is intra-DC (tiny window); hop 2 spans the 10 ms segment
+        assert chain.legs[0].cc.cwnd < chain.legs[1].cc.cwnd < chain.legs[2].cc.cwnd
+
+    def test_chain_validation(self, sim, transport_cfg):
+        topo = build_multidc(sim, small_chain())
+        with pytest.raises(ProxyError):
+            build_relay_chain(topo.net, topo.hosts(0)[0], topo.hosts(2)[0],
+                              1000, transport_cfg, [])
+        with pytest.raises(ProxyError):
+            build_relay_chain(topo.net, topo.hosts(0)[0], topo.hosts(2)[0],
+                              1000, transport_cfg,
+                              [topo.hosts(0)[0]])  # relay == src
+
+
+class TestCascadeExperiment:
+    def test_all_schemes_complete(self, scenario):
+        for scheme in ("baseline", "edge", "cascade"):
+            result = run_cascade(replace(scenario, scheme=scheme))
+            assert result.completed, scheme
+
+    def test_relay_counts(self, scenario):
+        assert run_cascade(replace(scenario, scheme="baseline")).relays_used == 0
+        assert run_cascade(replace(scenario, scheme="edge")).relays_used == 1
+        assert run_cascade(replace(scenario, scheme="cascade")).relays_used == 2
+
+    def test_proxies_beat_baseline_on_chain(self, scenario):
+        baseline = run_cascade(scenario if scenario.scheme == "baseline"
+                               else replace(scenario, scheme="baseline"))
+        edge = run_cascade(replace(scenario, scheme="edge"))
+        cascade = run_cascade(replace(scenario, scheme="cascade"))
+        assert edge.ict_ps < 0.5 * baseline.ict_ps
+        assert cascade.ict_ps < 0.5 * baseline.ict_ps
+
+    def test_cascade_recovers_near_segment_blips_locally(self, scenario):
+        """The extension's claim: a blip on the first long segment is repaired
+        from the DC0 relay over ~2 ms by the cascade, but over the full
+        end-to-end RTT by the edge-only design."""
+        blip = (0, milliseconds(1), milliseconds(3))
+        # 16 MB keeps traffic crossing segment 0 when the blip lands.
+        edge = run_cascade(replace(scenario, scheme="edge", blip=blip,
+                                   total_bytes=megabytes(16)))
+        cascade = run_cascade(replace(scenario, scheme="cascade", blip=blip,
+                                      total_bytes=megabytes(16)))
+        assert cascade.completed and edge.completed
+        assert cascade.ict_ps < 0.5 * edge.ict_ps
+
+    def test_blip_validation(self, scenario):
+        with pytest.raises(ExperimentError):
+            replace(scenario, blip=(7, 0, 1))
+
+    def test_scheme_validation(self, scenario):
+        with pytest.raises(ExperimentError):
+            replace(scenario, scheme="relay-everything")

@@ -1,0 +1,174 @@
+"""Congestion control: DCTCP-like, Reno-AIMD, unlimited, RTT/RTO estimation."""
+
+import pytest
+
+from repro.transport.aimd import RenoAimd
+from repro.transport.cc_base import UnlimitedWindow
+from repro.transport.dctcp import DctcpLike
+from repro.transport.rtt import RttEstimator
+from repro.units import microseconds, milliseconds
+
+
+class TestDctcpLike:
+    def make(self, cwnd=100.0, **kw):
+        return DctcpLike(cwnd, **kw)
+
+    def test_unmarked_acks_grow_window(self):
+        cc = self.make(cwnd=10)
+        before = cc.cwnd
+        cc.on_ack(now=1, marked=False, seq=0, snd_nxt=10)
+        assert cc.cwnd > before
+
+    def test_congestion_avoidance_rate(self):
+        cc = self.make(cwnd=10)
+        cc.ssthresh = 10  # at threshold -> CA
+        cc.on_ack(1, False, 0, 10)
+        assert cc.cwnd == pytest.approx(10 + 1 / 10)
+
+    def test_slow_start_below_ssthresh(self):
+        cc = self.make(cwnd=4)
+        cc.ssthresh = 100
+        cc.on_ack(1, False, 0, 4)
+        assert cc.cwnd == 5
+
+    def test_first_marked_ack_halves(self):
+        cc = self.make(cwnd=100)  # alpha starts at 1
+        cc.on_ack(1, True, seq=0, snd_nxt=100)
+        assert cc.cwnd == pytest.approx(100 * (1 - 1 / 2), rel=0.01)
+
+    def test_alpha_decays_without_marks(self):
+        cc = self.make()
+        for i in range(100):
+            cc.on_ack(i, False, i, 200)
+        assert cc.alpha < 0.01
+
+    def test_alpha_weighted_cut_is_gentler(self):
+        cc = self.make(cwnd=100)
+        for i in range(100):
+            cc.on_ack(i, False, i, 200)  # drive alpha down
+        w = cc.cwnd
+        cc.on_ack(200, True, seq=150, snd_nxt=200)
+        assert cc.cwnd > 0.9 * w  # small alpha -> small cut
+
+    def test_one_cut_per_recovery_epoch(self):
+        cc = self.make(cwnd=100)
+        cc.on_congestion(now=1, seq=5, snd_nxt=50, severe=True)
+        w = cc.cwnd
+        # losses from inside the epoch (seq < 50) must not cut again
+        cc.on_congestion(now=2, seq=10, snd_nxt=50, severe=True)
+        cc.on_congestion(now=3, seq=49, snd_nxt=50, severe=True)
+        assert cc.cwnd == w
+        assert cc.cuts == 1
+
+    def test_new_epoch_allows_new_cut(self):
+        cc = self.make(cwnd=100)
+        cc.on_congestion(1, seq=5, snd_nxt=50, severe=True)
+        w = cc.cwnd
+        cc.on_congestion(2, seq=50, snd_nxt=80, severe=True)
+        assert cc.cwnd < w
+        assert cc.cuts == 2
+
+    def test_nack_cut_factor(self):
+        cc = DctcpLike(64, nack_cut_factor=0.5)
+        cc.on_congestion(1, seq=0, snd_nxt=64, severe=True)
+        assert cc.cwnd == 32
+
+    def test_timeout_resets_to_min(self):
+        cc = self.make(cwnd=500, min_cwnd_packets=1)
+        cc.on_timeout(now=10, snd_nxt=500)
+        assert cc.cwnd == 1
+        assert cc.ssthresh == 250
+        assert cc.timeouts == 1
+        # losses of pre-timeout packets cannot cut the reset window further
+        cc.on_congestion(11, seq=100, snd_nxt=500, severe=True)
+        assert cc.cwnd == 1
+
+    def test_window_floor(self):
+        cc = DctcpLike(2, min_cwnd_packets=1)
+        for i in range(10):
+            cc.on_congestion(i, seq=100 * i, snd_nxt=100 * i + 1, severe=True)
+        assert cc.cwnd >= 1
+
+    def test_can_send_window_check(self):
+        cc = self.make(cwnd=3)
+        assert cc.can_send(2)
+        assert not cc.can_send(3)
+        assert not cc.can_send(4)
+
+
+class TestRenoAimd:
+    def test_marked_ack_halves(self):
+        cc = RenoAimd(64)
+        cc.on_ack(1, True, seq=0, snd_nxt=64)
+        assert cc.cwnd == 32
+
+    def test_loss_halves_once_per_epoch(self):
+        cc = RenoAimd(64)
+        cc.on_congestion(1, seq=0, snd_nxt=64, severe=True)
+        cc.on_congestion(2, seq=1, snd_nxt=64, severe=True)
+        assert cc.cwnd == 32
+
+    def test_growth(self):
+        cc = RenoAimd(10)
+        cc.on_ack(1, False, 0, 10)
+        assert cc.cwnd > 10
+
+
+class TestUnlimitedWindow:
+    def test_always_can_send(self):
+        cc = UnlimitedWindow()
+        assert cc.can_send(10**9)
+
+    def test_signals_are_inert(self):
+        cc = UnlimitedWindow()
+        cc.on_ack(1, True, 0, 10)
+        cc.on_congestion(1, 0, 10, severe=True)
+        cc.on_timeout(1, 10)
+        assert cc.can_send(10**12)
+        assert cc.timeouts == 1
+
+
+class TestRttEstimator:
+    def make(self, initial=milliseconds(4)):
+        return RttEstimator(initial, min_rto_ps=milliseconds(1), max_rto_ps=milliseconds(400))
+
+    def test_seeded_srtt(self):
+        est = self.make()
+        assert est.srtt == milliseconds(4)
+        assert est.rto_ps() >= est.srtt
+
+    def test_first_sample_replaces_seed(self):
+        est = self.make()
+        est.on_sample(milliseconds(10))
+        assert est.srtt == milliseconds(10)
+
+    def test_ewma_converges(self):
+        est = self.make()
+        for _ in range(200):
+            est.on_sample(milliseconds(2))
+        assert est.srtt == pytest.approx(milliseconds(2), rel=0.01)
+        assert est.rttvar < milliseconds(1)
+
+    def test_min_rtt_tracks_minimum(self):
+        est = self.make()
+        est.on_sample(milliseconds(5))
+        est.on_sample(milliseconds(2))
+        est.on_sample(milliseconds(8))
+        assert est.min_rtt == milliseconds(2)
+
+    def test_rto_floor_and_ceiling(self):
+        est = RttEstimator(microseconds(10), min_rto_ps=milliseconds(1),
+                           max_rto_ps=milliseconds(5))
+        assert est.rto_ps() == milliseconds(1)  # floor
+        assert est.rto_ps(backoff=10) == milliseconds(5)  # ceiling
+
+    def test_backoff_doubles(self):
+        est = self.make()
+        assert est.rto_ps(backoff=1) == min(2 * est.rto_ps(0), milliseconds(400))
+
+    def test_non_positive_samples_ignored(self):
+        est = self.make()
+        srtt = est.srtt
+        est.on_sample(0)
+        est.on_sample(-5)
+        assert est.srtt == srtt

@@ -1,0 +1,23 @@
+"""The top-level ``python -m repro`` dispatcher."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestDispatch:
+    def test_unknown_command_exits(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["teleport"])
+        assert "unknown command" in capsys.readouterr().err
+
+    def test_figures_subcommand_forwards_args(self, capsys):
+        main(["figures", "--only", "fig5"])
+        out = capsys.readouterr().out
+        assert "Figure 5a" in out
+
+    def test_quickstart_prints_all_schemes(self, capsys):
+        main(["quickstart"])
+        out = capsys.readouterr().out
+        for scheme in ("baseline", "naive", "streamlined", "trimless"):
+            assert scheme in out

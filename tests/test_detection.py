@@ -1,0 +1,208 @@
+"""Gap-based loss detection, reorder estimation, and ground-truth scoring."""
+
+import pytest
+
+from repro.detection.evaluation import evaluate_detector, synthesize_stream
+from repro.detection.lossdetector import DetectorConfig, FlowTracker, GapLossDetector
+from repro.detection.reorder import ReorderingEstimator
+from repro.errors import ConfigError, WorkloadError
+from repro.units import microseconds
+
+
+def cfg(**kw):
+    defaults = dict(max_tracked_gaps=64, packet_threshold=3,
+                    reorder_window_ps=microseconds(5), evict_policy="lost")
+    defaults.update(kw)
+    return DetectorConfig(**defaults)
+
+
+class TestFlowTracker:
+    def collect(self, tracker_cfg):
+        declared = []
+        tracker = FlowTracker(tracker_cfg, lambda seq, ts: declared.append(seq))
+        return tracker, declared
+
+    def feed_inorder(self, tracker, seqs, step_ps=microseconds(1)):
+        for i, seq in enumerate(seqs):
+            tracker.on_data(seq, now=(i + 1) * step_ps, packet_ts=i, is_retransmit=False)
+
+    def test_no_gaps_no_losses(self):
+        tracker, declared = self.collect(cfg())
+        self.feed_inorder(tracker, range(10))
+        assert declared == []
+        assert tracker.pending_gaps() == 0
+
+    def test_persistent_gap_declared_lost(self):
+        tracker, declared = self.collect(cfg())
+        self.feed_inorder(tracker, [0, 1, 3, 4, 5, 6, 7, 8, 9, 10])
+        assert declared == [2]
+
+    def test_gap_needs_both_age_and_depth(self):
+        # Only 2 packets arrive after the gap: below the packet threshold.
+        tracker, declared = self.collect(cfg(packet_threshold=5))
+        self.feed_inorder(tracker, [0, 2, 3])
+        assert declared == []
+
+    def test_reordered_packet_clears_gap(self):
+        tracker, declared = self.collect(cfg())
+        # seq 2 arrives late but within the window: no declaration
+        tracker.on_data(0, microseconds(1), 0, False)
+        tracker.on_data(1, microseconds(2), 1, False)
+        tracker.on_data(3, microseconds(3), 3, False)
+        tracker.on_data(2, microseconds(4), 2, False)  # late arrival fills gap
+        tracker.on_data(4, microseconds(20), 4, False)
+        tracker.on_data(5, microseconds(21), 5, False)
+        tracker.on_data(6, microseconds(22), 6, False)
+        assert declared == []
+
+    def test_flush_declares_aged_gaps_without_traffic(self):
+        tracker, declared = self.collect(cfg(packet_threshold=100))
+        self.feed_inorder(tracker, [0, 2])
+        tracker.flush(microseconds(100))
+        assert declared == [1]
+
+    def test_eviction_as_lost(self):
+        tracker, declared = self.collect(cfg(max_tracked_gaps=2, packet_threshold=100,
+                                             reorder_window_ps=microseconds(10**6)))
+        # jump creates 3 gaps; capacity 2 -> the oldest is evicted as lost
+        tracker.on_data(0, 1, 0, False)
+        tracker.on_data(4, 2, 4, False)
+        assert tracker.evicted == 1
+        assert declared == [1]
+
+    def test_eviction_as_forget(self):
+        tracker, declared = self.collect(cfg(max_tracked_gaps=2, packet_threshold=100,
+                                             reorder_window_ps=microseconds(10**6),
+                                             evict_policy="forget"))
+        tracker.on_data(0, 1, 0, False)
+        tracker.on_data(4, 2, 4, False)
+        assert tracker.evicted == 1
+        assert declared == []
+
+    def test_false_positive_counted_on_original_arrival(self):
+        tracker, declared = self.collect(cfg(packet_threshold=1,
+                                             reorder_window_ps=microseconds(1)))
+        tracker.on_data(0, microseconds(1), 0, False)
+        tracker.on_data(2, microseconds(10), 2, False)
+        tracker.on_data(3, microseconds(20), 3, False)
+        assert declared == [1]
+        # original copy of 1 limps in much later: that's a false positive
+        tracker.on_data(1, microseconds(30), 1, False)
+        assert tracker.false_positives == 1
+
+    def test_retransmit_arrival_not_counted_as_fp(self):
+        tracker, declared = self.collect(cfg(packet_threshold=1,
+                                             reorder_window_ps=microseconds(1)))
+        tracker.on_data(0, microseconds(1), 0, False)
+        tracker.on_data(2, microseconds(10), 2, False)
+        tracker.on_data(3, microseconds(20), 3, False)
+        tracker.on_data(1, microseconds(30), 1, True)  # the NACK-paid retx
+        assert tracker.false_positives == 0
+
+    def test_registry_reuses_trackers(self):
+        detector = GapLossDetector(cfg())
+        t1 = detector.tracker(1, lambda s, ts: None)
+        t2 = detector.tracker(1, lambda s, ts: None)
+        assert t1 is t2
+        assert len(detector) == 1
+        detector.remove(1)
+        assert len(detector) == 0
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            DetectorConfig(max_tracked_gaps=0)
+        with pytest.raises(ConfigError):
+            DetectorConfig(evict_policy="shrug")
+
+
+class TestReorderingEstimator:
+    def test_in_order_stream(self):
+        est = ReorderingEstimator()
+        for seq in range(10):
+            est.on_arrival(seq)
+        assert est.late == 0
+        assert est.late_fraction == 0.0
+        assert est.outstanding == 0
+
+    def test_single_displacement_depth(self):
+        est = ReorderingEstimator()
+        for seq in [0, 1, 3, 4, 2]:
+            est.on_arrival(seq)
+        assert est.late == 1
+        assert est.max_depth == 2  # 3 and 4 overtook 2
+        assert est.mean_depth == 2
+
+    def test_lost_packets_stay_outstanding(self):
+        est = ReorderingEstimator()
+        for seq in [0, 2, 3]:
+            est.on_arrival(seq)
+        assert est.outstanding == 1
+
+    def test_duplicates_ignored(self):
+        est = ReorderingEstimator()
+        for seq in [0, 1, 1, 2]:
+            est.on_arrival(seq)
+        assert est.late == 0
+
+
+class TestSynthesizeStream:
+    def test_no_loss_no_reorder_is_identity(self):
+        events, lost = synthesize_stream(50, loss_rate=0, reorder_rate=0, reorder_depth=0)
+        assert lost == set()
+        assert [e.seq for e in events] == list(range(50))
+        assert all(events[i].time < events[i + 1].time for i in range(len(events) - 1))
+
+    def test_loss_rate_roughly_respected(self):
+        _, lost = synthesize_stream(2000, loss_rate=0.1, reorder_rate=0, reorder_depth=0)
+        assert 100 < len(lost) < 320
+
+    def test_reordering_produces_out_of_order(self):
+        events, _ = synthesize_stream(500, loss_rate=0, reorder_rate=0.3, reorder_depth=8)
+        seqs = [e.seq for e in events]
+        assert seqs != sorted(seqs)
+        assert sorted(seqs) == list(range(500))  # nothing lost
+
+    def test_parameter_validation(self):
+        with pytest.raises(WorkloadError):
+            synthesize_stream(0, loss_rate=0, reorder_rate=0, reorder_depth=0)
+        with pytest.raises(WorkloadError):
+            synthesize_stream(10, loss_rate=1.0, reorder_rate=0, reorder_depth=0)
+
+
+class TestDetectorEvaluation:
+    def test_perfect_on_clean_loss(self):
+        events, lost = synthesize_stream(1000, loss_rate=0.05, reorder_rate=0,
+                                         reorder_depth=0, seed=3)
+        result = evaluate_detector(events, lost, cfg())
+        assert result.false_positives == 0
+        assert result.recall > 0.95
+
+    def test_heavy_reordering_with_tight_window_causes_fps(self):
+        events, lost = synthesize_stream(2000, loss_rate=0.0, reorder_rate=0.5,
+                                         reorder_depth=30, seed=4)
+        tight = cfg(packet_threshold=2, reorder_window_ps=1)
+        loose = cfg(packet_threshold=64, reorder_window_ps=microseconds(50))
+        fp_tight = evaluate_detector(events, lost, tight, final_flush=False).false_positives
+        fp_loose = evaluate_detector(events, lost, loose, final_flush=False).false_positives
+        assert fp_tight > fp_loose
+
+    def test_forget_eviction_hurts_recall(self):
+        events, lost = synthesize_stream(3000, loss_rate=0.2, reorder_rate=0,
+                                         reorder_depth=0, seed=5)
+        roomy = evaluate_detector(events, lost, cfg(max_tracked_gaps=4096))
+        tiny = evaluate_detector(events, lost,
+                                 cfg(max_tracked_gaps=4, evict_policy="forget"))
+        assert roomy.recall > tiny.recall
+
+    def test_detection_latency_positive(self):
+        events, lost = synthesize_stream(500, loss_rate=0.05, reorder_rate=0,
+                                         reorder_depth=0, seed=6)
+        result = evaluate_detector(events, lost, cfg())
+        assert result.mean_latency_ps > 0
+
+    def test_precision_recall_bounds(self):
+        events, lost = synthesize_stream(800, loss_rate=0.1, reorder_rate=0.2,
+                                         reorder_depth=5, seed=7)
+        result = evaluate_detector(events, lost, cfg())
+        assert 0 <= result.precision <= 1
+        assert 0 <= result.recall <= 1

@@ -1,0 +1,133 @@
+"""Failure injection: port up/down semantics and transport resilience."""
+
+import pytest
+
+from repro.config import TransportConfig, small_interdc_config
+from repro.errors import TopologyError
+from repro.net.packet import make_data
+from repro.transport.connection import Connection
+from repro.units import megabytes, microseconds, milliseconds
+from tests.conftest import build_pair
+
+
+class TestPortUpDown:
+    def test_down_port_drops_offers(self, sim):
+        net, a, b = build_pair(sim)
+        b.register_handler(1, lambda p: None)
+        a.nic.set_up(False)
+        a.send(make_data(1, 0, a.id, b.id, payload_bytes=100))
+        sim.run()
+        assert a.nic.dropped_while_down == 1
+        assert a.nic.tx_packets == 0
+
+    def test_packet_mid_flight_is_lost(self, sim):
+        net, a, b = build_pair(sim)
+        got = []
+        b.register_handler(1, lambda p: got.append(p.seq))
+        a.send(make_data(1, 0, a.id, b.id, payload_bytes=100_000))
+        sim.schedule(1, lambda: a.nic.set_up(False))  # during serialization
+        sim.run()
+        assert got == []
+
+    def test_queue_survives_and_resumes(self, sim):
+        net, a, b = build_pair(sim)
+        got = []
+        b.register_handler(1, lambda p: got.append(p.seq))
+        a.nic.set_up(False)
+        sim.run()
+        a.nic.set_up(True)  # nothing queued while down (offers dropped)
+        a.send(make_data(1, 5, a.id, b.id, payload_bytes=100))
+        sim.run()
+        assert got == [5]
+
+    def test_set_up_idempotent(self, sim):
+        net, a, b = build_pair(sim)
+        a.nic.set_up(True)
+        a.nic.set_up(False)
+        a.nic.set_up(False)
+        assert not a.nic.up
+
+
+class TestNetworkFailureApi:
+    def test_set_link_state_both_directions(self, sim):
+        net, a, b = build_pair(sim)
+        switch_id = net.adjacency[a.id][0]
+        net.set_link_state(a.id, switch_id, False)
+        assert not a.nic.up
+        assert not net.nodes[switch_id].ports[a.id].up
+        net.set_link_state(a.id, switch_id, True)
+        assert a.nic.up
+
+    def test_unknown_link_rejected(self, sim):
+        net, a, b = build_pair(sim)
+        with pytest.raises(TopologyError):
+            net.set_link_state(a.id, b.id, False)  # hosts are not adjacent
+
+    def test_fail_link_schedules_down_and_up(self, sim):
+        net, a, b = build_pair(sim)
+        switch_id = net.adjacency[a.id][0]
+        net.fail_link(a.id, switch_id, at_ps=1000, duration_ps=500)
+        sim.run(until=1200)
+        assert not a.nic.up
+        sim.run(until=2000)
+        assert a.nic.up
+
+    def test_fail_host_targets_access_link(self, sim):
+        net, a, b = build_pair(sim)
+        net.fail_host(a.id, at_ps=10, duration_ps=10)
+        sim.run(until=15)
+        assert not a.nic.up
+
+    def test_fail_host_validates(self, sim):
+        net, a, b = build_pair(sim)
+        switch_id = net.adjacency[a.id][0]
+        with pytest.raises(TopologyError):
+            net.fail_host(switch_id, at_ps=0, duration_ps=1)
+
+    def test_duration_must_be_positive(self, sim):
+        net, a, b = build_pair(sim)
+        switch_id = net.adjacency[a.id][0]
+        with pytest.raises(TopologyError):
+            net.fail_link(a.id, switch_id, at_ps=0, duration_ps=0)
+
+
+class TestTransportUnderFailure:
+    def test_transfer_survives_transient_access_failure(self, sim, transport_cfg):
+        net, a, b = build_pair(sim)
+        conn = Connection(net, a, b, 200_000, transport_cfg)
+        # kill the sender's access link mid-transfer for 200us
+        net.fail_host(a.id, at_ps=microseconds(20), duration_ps=microseconds(200))
+        conn.start()
+        sim.run(until=milliseconds(2000))
+        assert conn.completed
+        assert conn.receiver.stats.bytes_received == 200_000
+        assert conn.sender.stats.retransmissions > 0
+
+    def test_transfer_survives_receiver_side_failure(self, sim, transport_cfg):
+        net, a, b = build_pair(sim)
+        conn = Connection(net, a, b, 200_000, transport_cfg)
+        net.fail_host(b.id, at_ps=microseconds(20), duration_ps=microseconds(300))
+        conn.start()
+        sim.run(until=milliseconds(2000))
+        assert conn.completed
+
+    def test_interdc_incast_survives_backbone_blip(self, transport_cfg):
+        from repro.experiments.runner import IncastScenario, run_incast
+        from repro.sim.simulator import Simulator
+        from repro.topology.interdc import build_interdc
+        # one backbone link flaps during the incast; spraying rides the
+        # remaining equal-cost paths and RACK repairs the black-holed packets
+        sim = Simulator(seed=0)
+        topo = build_interdc(sim, small_interdc_config())
+        net = topo.net
+        router = topo.backbone[0]
+        spine_id = net.adjacency[router.id][0]
+        conn = Connection(
+            net, topo.hosts(0)[0], topo.hosts(1)[0], megabytes(4), transport_cfg
+        )
+        net.fail_link(router.id, spine_id, at_ps=microseconds(100),
+                      duration_ps=milliseconds(1))
+        conn.start()
+        sim.run(until=milliseconds(5000))
+        assert conn.completed
+        assert conn.receiver.stats.bytes_received == megabytes(4)

@@ -1,0 +1,48 @@
+"""FW#2 hook-placement pipelines: TC vs XDP vs NIC offload."""
+
+import pytest
+
+from repro.hoststack import (
+    measure_pipeline,
+    nic_offload_pipeline,
+    tc_proxy_pipeline,
+    xdp_proxy_pipeline,
+)
+
+
+@pytest.fixture(scope="module")
+def medians():
+    return {
+        name: measure_pipeline(factory(), packets=60_000, seed=0).percentile_us(50)
+        for name, factory in (
+            ("tc", tc_proxy_pipeline),
+            ("xdp", xdp_proxy_pipeline),
+            ("offload", nic_offload_pipeline),
+        )
+    }
+
+
+class TestHookPlacements:
+    def test_fw2_ordering(self, medians):
+        """The paper's FW#2 expectation: XDP < TC; offload < XDP."""
+        assert medians["offload"] < medians["xdp"] < medians["tc"]
+
+    def test_xdp_removes_softirq_scale_costs(self, medians):
+        # TC pays µs-scale driver/softirq work that XDP skips entirely.
+        assert medians["tc"] / medians["xdp"] > 2
+
+    def test_offload_is_submicrosecond(self, medians):
+        assert medians["offload"] < 1.0
+
+    def test_tc_pipeline_contains_the_ebpf_stage(self):
+        names = tc_proxy_pipeline().stage_names()
+        assert "ebpf_forward" in names
+        assert "driver_softirq" in names
+
+    def test_xdp_pipeline_has_no_softirq_stage(self):
+        names = xdp_proxy_pipeline().stage_names()
+        assert "driver_softirq" not in names
+
+    def test_offload_pipeline_has_no_host_stages(self):
+        names = nic_offload_pipeline().stage_names()
+        assert names == ["nic_datapath"]

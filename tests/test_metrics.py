@@ -1,0 +1,95 @@
+"""Metrics utilities: CDFs, summaries, network counter collection."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.metrics.cdf import EmpiricalCdf
+from repro.metrics.collector import collect_network_counters
+from repro.metrics.summary import summarize
+from repro.net.packet import make_data
+from repro.units import milliseconds
+from tests.conftest import build_pair
+
+
+class TestEmpiricalCdf:
+    def test_basic_percentiles(self):
+        cdf = EmpiricalCdf(range(1, 101))
+        assert cdf.median == pytest.approx(50.5)
+        assert cdf.percentile(0) == 1
+        assert cdf.percentile(100) == 100
+        assert cdf.mean == pytest.approx(50.5)
+
+    def test_prob_le(self):
+        cdf = EmpiricalCdf([1, 2, 3, 4])
+        assert cdf.prob_le(2) == 0.5
+        assert cdf.prob_le(0) == 0.0
+        assert cdf.prob_le(10) == 1.0
+
+    def test_points_monotone(self):
+        cdf = EmpiricalCdf([5, 1, 9, 3, 7])
+        points = cdf.points(11)
+        values = [v for v, _ in points]
+        probs = [p for _, p in points]
+        assert values == sorted(values)
+        assert probs[0] == 0.0 and probs[-1] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            EmpiricalCdf([])
+
+    def test_bad_percentile_rejected(self):
+        cdf = EmpiricalCdf([1])
+        with pytest.raises(ReproError):
+            cdf.percentile(101)
+
+    def test_percentile_table(self):
+        cdf = EmpiricalCdf(range(1000))
+        table = cdf.percentile_table((50, 99))
+        assert set(table) == {50, 99}
+        assert table[50] < table[99]
+
+
+class TestSummarize:
+    def test_single_value(self):
+        s = summarize([7.0])
+        assert (s.mean, s.minimum, s.maximum, s.stdev, s.count) == (7.0, 7.0, 7.0, 0.0, 1)
+
+    def test_mean_min_max(self):
+        s = summarize([1, 2, 3, 4, 5])
+        assert s.mean == 3 and s.minimum == 1 and s.maximum == 5
+        assert s.stdev == pytest.approx(1.5811, rel=1e-3)
+
+    def test_reduction_vs(self):
+        base = summarize([100, 100])
+        fast = summarize([25, 25])
+        assert fast.reduction_vs(base) == pytest.approx(0.75)
+        assert base.reduction_vs(base) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestNetworkCounters:
+    def test_collects_tx_and_queue_stats(self, sim, transport_cfg):
+        from repro.transport.connection import Connection
+        net, a, b = build_pair(sim)
+        conn = Connection(net, a, b, 50_000, transport_cfg)
+        conn.start()
+        sim.run(until=milliseconds(100))
+        counters = collect_network_counters(net)
+        assert counters.tx_packets > 0
+        assert counters.tx_bytes >= 50_000
+        assert counters.packets_dropped == 0
+        assert counters.max_queue_bytes > 0
+
+    def test_hottest_ports_ranked(self, sim, transport_cfg):
+        from repro.transport.connection import Connection
+        net, a, b = build_pair(sim)
+        conn = Connection(net, a, b, 50_000, transport_cfg)
+        conn.start()
+        sim.run(until=milliseconds(100))
+        counters = collect_network_counters(net)
+        hottest = counters.hottest_ports(3)
+        depths = [d for _, d in hottest]
+        assert depths == sorted(depths, reverse=True)

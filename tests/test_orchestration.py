@@ -1,0 +1,258 @@
+"""Proxy orchestration: registry, policies, selectors, concurrent runs."""
+
+import random
+
+import pytest
+
+from repro.config import TransportConfig
+from repro.errors import OrchestrationError
+from repro.orchestration import (
+    CentralOrchestrator,
+    DecentralizedSelector,
+    ProxyRegistry,
+    least_bytes,
+    least_loaded,
+    make_round_robin,
+    run_concurrent_incasts,
+)
+from repro.config import small_interdc_config
+from repro.workloads import uniform_incast
+from repro.units import kilobytes
+
+
+class TestRegistry:
+    def test_assign_release_cycle(self):
+        reg = ProxyRegistry()
+        reg.register(10)
+        reg.assign(10, "a", 100)
+        assert reg.load(10) == 1
+        reg.release(10, "a", 100)
+        assert reg.load(10) == 0
+
+    def test_double_assign_rejected(self):
+        reg = ProxyRegistry()
+        reg.register(10)
+        reg.assign(10, "a", 1)
+        with pytest.raises(OrchestrationError):
+            reg.assign(10, "a", 1)
+
+    def test_release_unknown_rejected(self):
+        reg = ProxyRegistry()
+        reg.register(10)
+        with pytest.raises(OrchestrationError):
+            reg.release(10, "ghost", 1)
+
+    def test_unregistered_host_rejected(self):
+        reg = ProxyRegistry()
+        with pytest.raises(OrchestrationError):
+            reg.load(99)
+
+    def test_register_idempotent(self):
+        reg = ProxyRegistry()
+        reg.register(1)
+        reg.assign(1, "a", 5)
+        reg.register(1)
+        assert reg.load(1) == 1
+
+
+class TestPolicies:
+    def fill(self):
+        reg = ProxyRegistry()
+        for host in (1, 2, 3):
+            reg.register(host)
+        reg.assign(1, "x", 100)
+        reg.assign(2, "y", 10)
+        reg.assign(2, "z", 10)
+        return reg
+
+    def test_least_loaded(self):
+        assert least_loaded(self.fill()) == 3
+
+    def test_least_loaded_tiebreak_by_bytes(self):
+        reg = ProxyRegistry()
+        for host in (1, 2):
+            reg.register(host)
+        reg.assign(1, "a", 100)
+        reg.assign(2, "b", 10)
+        reg.release(1, "a", 0)  # host 1: load 0 but 100 residual bytes
+        reg.release(2, "b", 0)
+        assert least_loaded(reg) == 2
+
+    def test_least_bytes(self):
+        assert least_bytes(self.fill()) == 3
+
+    def test_round_robin_rotates(self):
+        reg = ProxyRegistry()
+        for host in (1, 2, 3):
+            reg.register(host)
+        policy = make_round_robin()
+        assert [policy(reg) for _ in range(5)] == [1, 2, 3, 1, 2]
+
+    def test_empty_registry_raises(self):
+        with pytest.raises(OrchestrationError):
+            least_loaded(ProxyRegistry())
+
+
+class TestSelectors:
+    def job(self, name="j"):
+        return uniform_incast(name, degree=2, total_bytes=100)
+
+    def test_central_assigns_and_releases(self):
+        reg = ProxyRegistry()
+        reg.register(5)
+        orch = CentralOrchestrator(reg)
+        host, delay = orch.select(self.job())
+        assert host == 5 and delay > 0
+        assert reg.load(5) == 1
+        orch.release(self.job(), 5)
+        assert reg.load(5) == 0
+
+    def test_central_spreads_across_proxies(self):
+        reg = ProxyRegistry()
+        for host in (1, 2, 3):
+            reg.register(host)
+        orch = CentralOrchestrator(reg)
+        chosen = [orch.select(self.job(f"j{i}"))[0] for i in range(3)]
+        assert sorted(chosen) == [1, 2, 3]
+
+    def test_decentralized_probe_cost_accumulates(self):
+        reg = ProxyRegistry()
+        for host in (1, 2):
+            reg.register(host)
+        sel = DecentralizedSelector(reg, random.Random(0), max_load=1)
+        h1, d1 = sel.select(self.job("a"))
+        h2, d2 = sel.select(self.job("b"))
+        assert {h1, h2} == {1, 2}
+        assert sel.probes >= 2
+        assert d1 >= sel.probe_rtt_ps and d2 >= sel.probe_rtt_ps
+
+    def test_decentralized_falls_back_when_all_busy(self):
+        reg = ProxyRegistry()
+        reg.register(1)
+        sel = DecentralizedSelector(reg, random.Random(0), max_load=1, max_trials=3)
+        sel.select(self.job("a"))
+        host, delay = sel.select(self.job("b"))
+        assert host == 1
+        assert sel.fallbacks == 1
+        assert delay == 3 * sel.probe_rtt_ps
+
+    def test_selector_validation(self):
+        reg = ProxyRegistry()
+        with pytest.raises(OrchestrationError):
+            DecentralizedSelector(reg, random.Random(0), max_load=0)
+
+
+class TestConcurrentRuns:
+    """Small-topology end-to-end orchestration runs."""
+
+    @pytest.fixture()
+    def setup(self):
+        transport = TransportConfig(payload_bytes=4096)
+        # 20 MB per job so the first-RTT burst overwhelms the small config's
+        # 4 MB leaf buffers — without loss, no scheme can beat any other.
+        jobs = [
+            uniform_incast(f"j{i}", degree=2, total_bytes=kilobytes(20_000),
+                           receiver_index=i, sender_offset=i * 2)
+            for i in range(2)
+        ]
+        return jobs, small_interdc_config(), transport
+
+    def test_baseline_run(self, setup):
+        jobs, cfg, transport = setup
+        result = run_concurrent_incasts(jobs, scheme="baseline", strategy="none",
+                                        interdc=cfg, transport=transport)
+        assert result.completed
+        assert set(result.ict_ps) == {"j0", "j1"}
+        assert result.proxy_assignments == {}
+
+    def test_central_assigns_distinct_proxies(self, setup):
+        jobs, cfg, transport = setup
+        result = run_concurrent_incasts(jobs, scheme="streamlined", strategy="central",
+                                        interdc=cfg, transport=transport)
+        assert result.completed
+        assert len(set(result.proxy_assignments.values())) == 2
+
+    def test_shared_proxy_single_assignment(self, setup):
+        jobs, cfg, transport = setup
+        result = run_concurrent_incasts(jobs, scheme="streamlined", strategy="shared",
+                                        interdc=cfg, transport=transport)
+        assert result.completed
+        assert len(set(result.proxy_assignments.values())) == 1
+
+    def test_proxies_beat_baseline(self, setup):
+        jobs, cfg, transport = setup
+        base = run_concurrent_incasts(jobs, scheme="baseline", strategy="none",
+                                      interdc=cfg, transport=transport)
+        prox = run_concurrent_incasts(jobs, scheme="streamlined", strategy="central",
+                                      interdc=cfg, transport=transport)
+        assert prox.mean_ict_ps < base.mean_ict_ps
+
+    def test_naive_scheme_runs(self, setup):
+        jobs, cfg, transport = setup
+        result = run_concurrent_incasts(jobs, scheme="naive", strategy="central",
+                                        interdc=cfg, transport=transport)
+        assert result.completed
+
+    def test_unknown_strategy_rejected(self, setup):
+        jobs, cfg, transport = setup
+        with pytest.raises(OrchestrationError):
+            run_concurrent_incasts(jobs, strategy="telepathy", interdc=cfg)
+
+    def test_out_of_range_indices_rejected(self, setup):
+        _, cfg, transport = setup
+        huge = [uniform_incast("big", degree=2, total_bytes=100, receiver_index=999)]
+        with pytest.raises(OrchestrationError):
+            run_concurrent_incasts(huge, interdc=cfg, transport=transport)
+
+    def test_empty_jobs_rejected(self, setup):
+        _, cfg, _ = setup
+        with pytest.raises(OrchestrationError):
+            run_concurrent_incasts([], interdc=cfg)
+
+
+class TestLiveness:
+    def test_dead_proxies_not_selected(self):
+        from repro.orchestration import CentralOrchestrator, ProxyRegistry
+        from repro.workloads import uniform_incast
+        reg = ProxyRegistry()
+        for host in (1, 2):
+            reg.register(host)
+        reg.mark_dead(1)
+        orch = CentralOrchestrator(reg)
+        chosen = [orch.select(uniform_incast(f"j{i}", degree=2, total_bytes=10))[0]
+                  for i in range(3)]
+        assert set(chosen) == {2}
+
+    def test_revived_proxy_rejoins_pool(self):
+        from repro.orchestration import ProxyRegistry, least_loaded
+        reg = ProxyRegistry()
+        for host in (1, 2):
+            reg.register(host)
+        reg.mark_dead(1)
+        assert reg.host_ids == [2]
+        reg.mark_alive(1)
+        assert set(reg.host_ids) == {1, 2}
+        assert least_loaded(reg) in (1, 2)
+
+    def test_all_dead_raises(self):
+        import pytest as _pytest
+        from repro.errors import OrchestrationError
+        from repro.orchestration import ProxyRegistry, least_loaded
+        reg = ProxyRegistry()
+        reg.register(1)
+        reg.mark_dead(1)
+        with _pytest.raises(OrchestrationError):
+            least_loaded(reg)
+
+    def test_decentralized_skips_dead(self):
+        import random
+        from repro.orchestration import DecentralizedSelector, ProxyRegistry
+        from repro.workloads import uniform_incast
+        reg = ProxyRegistry()
+        for host in (1, 2, 3):
+            reg.register(host)
+        reg.mark_dead(2)
+        sel = DecentralizedSelector(reg, random.Random(0), max_load=10)
+        chosen = {sel.select(uniform_incast(f"j{i}", degree=2, total_bytes=10))[0]
+                  for i in range(6)}
+        assert 2 not in chosen

@@ -1,0 +1,69 @@
+"""Packet semantics: trimming, source-route stops, classification."""
+
+import pytest
+
+from repro.net.packet import HEADER_BYTES, Packet, PacketType, make_ack, make_data, make_nack
+
+
+class TestDataPackets:
+    def test_wire_size_includes_header(self):
+        pkt = make_data(1, 0, 10, 20, payload_bytes=4096)
+        assert pkt.size_bytes == 4096 + HEADER_BYTES
+        assert pkt.payload_bytes == 4096
+
+    def test_trim_cuts_to_header(self):
+        pkt = make_data(1, 5, 10, 20, payload_bytes=4096)
+        pkt.trim()
+        assert pkt.trimmed
+        assert pkt.payload_bytes == 0
+        assert pkt.size_bytes == HEADER_BYTES
+        assert pkt.seq == 5  # identity survives trimming
+
+    def test_trimmed_data_is_control(self):
+        pkt = make_data(1, 0, 10, 20, payload_bytes=100)
+        assert not pkt.is_control
+        pkt.trim()
+        assert pkt.is_control
+
+    def test_custom_header_bytes(self):
+        pkt = make_data(1, 0, 10, 20, payload_bytes=100, header_bytes=40)
+        assert pkt.size_bytes == 140
+
+    def test_default_timestamps_are_unset(self):
+        pkt = make_data(1, 0, 10, 20, payload_bytes=1)
+        assert pkt.ts == -1 and pkt.ts_echo == -1
+
+
+class TestSourceRouting:
+    def test_pop_stop_advances(self):
+        pkt = make_data(1, 0, 10, 99, payload_bytes=1, stops=(20, 30))
+        pkt.pop_stop()
+        assert pkt.dst == 20 and pkt.stops == (30,)
+        pkt.pop_stop()
+        assert pkt.dst == 30 and pkt.stops == ()
+
+    def test_return_stops_preserved(self):
+        pkt = make_data(1, 0, 10, 20, payload_bytes=1, return_stops=(20, 10))
+        assert pkt.return_stops == (20, 10)
+
+
+class TestControlPackets:
+    def test_ack_carries_cumulative_and_echo(self):
+        ack = make_ack(3, 20, 10, ack_seq=7, echo_seq=9, ecn_echo=True, ts_echo=555)
+        assert ack.kind == PacketType.ACK
+        assert (ack.ack_seq, ack.echo_seq) == (7, 9)
+        assert ack.ecn_echo and ack.ts_echo == 555
+        assert ack.is_control
+        assert ack.size_bytes == HEADER_BYTES
+
+    def test_nack_references_lost_seq(self):
+        nack = make_nack(3, 11, 20, 10, ts_echo=777)
+        assert nack.kind == PacketType.NACK
+        assert nack.echo_seq == 11 and nack.seq == 11
+        assert nack.ts_echo == 777
+        assert nack.is_control
+
+    def test_ack_with_stops_routes_back_via_proxy(self):
+        ack = make_ack(3, 20, 15, ack_seq=1, echo_seq=1, ecn_echo=False,
+                       ts_echo=1, stops=(10,))
+        assert ack.dst == 15 and ack.stops == (10,)

@@ -1,0 +1,122 @@
+"""Incast pattern detection and periodic prediction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.patterns import (
+    DetectorSettings,
+    OnlineIncastDetector,
+    PeriodicIncastPredictor,
+)
+from repro.units import microseconds, milliseconds
+
+
+class TestOnlineDetector:
+    def settings(self, **kw):
+        defaults = dict(window_ps=milliseconds(1), min_sources=3,
+                        min_bytes=1000, cooldown_ps=milliseconds(5))
+        defaults.update(kw)
+        return DetectorSettings(**defaults)
+
+    def test_fires_when_fan_in_crosses_threshold(self):
+        det = OnlineIncastDetector(self.settings())
+        t = microseconds(1)
+        assert det.observe(t, src=1, dst=9, nbytes=500) is None
+        assert det.observe(t + 1, src=2, dst=9, nbytes=500) is None
+        event = det.observe(t + 2, src=3, dst=9, nbytes=500)
+        assert event is not None
+        assert event.dst == 9 and event.sources == 3
+        assert event.window_bytes == 1500
+
+    def test_byte_threshold_also_required(self):
+        det = OnlineIncastDetector(self.settings(min_bytes=10_000))
+        t = microseconds(1)
+        for src in range(5):
+            assert det.observe(t + src, src=src, dst=9, nbytes=10) is None
+
+    def test_same_source_does_not_count_twice(self):
+        det = OnlineIncastDetector(self.settings())
+        t = microseconds(1)
+        for i in range(10):
+            event = det.observe(t + i, src=1, dst=9, nbytes=500)
+        assert event is None
+
+    def test_window_expires_old_observations(self):
+        det = OnlineIncastDetector(self.settings())
+        det.observe(0, src=1, dst=9, nbytes=500)
+        det.observe(1, src=2, dst=9, nbytes=500)
+        # the third source arrives after the window slid past the first two
+        event = det.observe(milliseconds(10), src=3, dst=9, nbytes=500)
+        assert event is None
+
+    def test_cooldown_suppresses_repeat_alarms(self):
+        det = OnlineIncastDetector(self.settings())
+        t = microseconds(1)
+        for src in range(3):
+            det.observe(t + src, src=src, dst=9, nbytes=500)
+        assert len(det.events) == 1
+        det.observe(t + 10, src=7, dst=9, nbytes=500)
+        assert len(det.events) == 1  # still inside cooldown
+        for src in (7, 8, 9):
+            det.observe(t + milliseconds(6), src=src, dst=9, nbytes=500)
+        assert len(det.events) == 2
+
+    def test_destinations_tracked_independently(self):
+        det = OnlineIncastDetector(self.settings())
+        t = microseconds(1)
+        for src in range(3):
+            det.observe(t + src, src=src, dst=1, nbytes=500)
+            det.observe(t + src, src=src, dst=2, nbytes=500)
+        assert {e.dst for e in det.events} == {1, 2}
+        assert set(det.watched_destinations()) == {1, 2}
+
+    def test_settings_validation(self):
+        with pytest.raises(ConfigError):
+            DetectorSettings(min_sources=1)
+        with pytest.raises(ConfigError):
+            DetectorSettings(window_ps=0)
+
+
+class TestPeriodicPredictor:
+    def bursty_series(self, period, bursts, noise=0.0, seed=0):
+        rng = np.random.default_rng(seed)
+        series = np.zeros(period * bursts)
+        series[::period] = 100.0
+        if noise:
+            series += rng.normal(0, noise, series.size)
+        return series
+
+    def test_recovers_exact_period(self):
+        estimate = PeriodicIncastPredictor().estimate(self.bursty_series(25, 20))
+        assert estimate.period_samples == 25
+        assert estimate.is_periodic
+
+    def test_noise_tolerated(self):
+        series = self.bursty_series(40, 15, noise=5.0)
+        estimate = PeriodicIncastPredictor().estimate(series)
+        assert estimate.period_samples == 40
+
+    def test_aperiodic_series_low_confidence(self):
+        rng = np.random.default_rng(1)
+        estimate = PeriodicIncastPredictor().estimate(rng.normal(0, 1, 512))
+        assert estimate.confidence < 0.3
+        assert not estimate.is_periodic
+
+    def test_next_burst_extrapolation(self):
+        series = self.bursty_series(20, 10)  # bursts at 0, 20, ..., 180
+        estimate = PeriodicIncastPredictor().estimate(series)
+        assert estimate.next_burst_index == 200
+
+    def test_constant_series_degenerates_gracefully(self):
+        estimate = PeriodicIncastPredictor().estimate(np.ones(100))
+        assert estimate.confidence == 0.0
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ConfigError):
+            PeriodicIncastPredictor(min_period=10).estimate(np.zeros(20))
+
+    def test_max_period_bound(self):
+        series = self.bursty_series(30, 10)
+        estimate = PeriodicIncastPredictor(max_period=20).estimate(series)
+        assert estimate.period_samples <= 20

@@ -1,0 +1,95 @@
+"""The simplified BBR-like rate-based controller."""
+
+import pytest
+
+from repro.config import TransportConfig, small_interdc_config
+from repro.errors import TransportError
+from repro.experiments.runner import IncastScenario, run_incast
+from repro.transport.rate_based import RateBased
+from repro.units import gbps, megabytes, microseconds
+from dataclasses import replace
+
+
+def feed_acks(cc, start_ps, count, spacing_ps):
+    now = start_ps
+    for i in range(count):
+        cc.on_ack(now, False, i, i + 1)
+        now += spacing_ps
+    return now
+
+
+class TestRateBased:
+    def make(self, cwnd=100.0, payload=4096, min_rtt=microseconds(100)):
+        return RateBased(cwnd, payload_bytes=payload, min_rtt_ps=min_rtt)
+
+    def test_estimates_delivery_rate_from_ack_spacing(self):
+        cc = self.make()
+        # 4096B per ack every 3.2768us = 10 Gb/s
+        feed_acks(cc, 0, 40, round(4096 * 8 * 1e12 / gbps(10)))
+        assert cc.btlbw_bps == pytest.approx(gbps(10), rel=0.01)
+
+    def test_window_tracks_bdp(self):
+        cc = self.make(min_rtt=microseconds(100))
+        feed_acks(cc, 0, 40, round(4096 * 8 * 1e12 / gbps(10)))
+        bdp_packets = gbps(10) * microseconds(100) / (8e12 * 4096)
+        assert cc.cwnd == pytest.approx(cc.gain * bdp_packets, rel=0.02)
+
+    def test_loss_signals_do_not_cut(self):
+        cc = self.make()
+        feed_acks(cc, 0, 40, 3_000_000)
+        w = cc.cwnd
+        cc.on_congestion(10**9, seq=5, snd_nxt=50, severe=True)
+        cc.on_congestion(10**9 + 1, seq=6, snd_nxt=50, severe=True)
+        assert cc.cwnd == w
+
+    def test_timeout_resets_conservatively(self):
+        cc = self.make(cwnd=800)
+        feed_acks(cc, 0, 40, 3_000_000)
+        cc.on_timeout(10**9, snd_nxt=100)
+        assert cc.cwnd == 100  # startup/8
+        assert cc.btlbw_bps == 0.0
+
+    def test_window_recovers_after_timeout(self):
+        cc = self.make()
+        cc.on_timeout(10**9, snd_nxt=100)
+        feed_acks(cc, 2 * 10**9, 40, round(4096 * 8 * 1e12 / gbps(10)))
+        assert cc.btlbw_bps > 0
+        assert cc.cwnd > cc.min_cwnd
+
+    def test_max_filter_keeps_peak(self):
+        cc = self.make()
+        fast = round(4096 * 8 * 1e12 / gbps(10))
+        now = feed_acks(cc, 0, 40, fast)
+        peak = cc.btlbw_bps
+        feed_acks(cc, now, 20, fast * 4)  # slower acks afterwards
+        assert cc.btlbw_bps == pytest.approx(peak, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(TransportError):
+            RateBased(10, payload_bytes=0, min_rtt_ps=100)
+        with pytest.raises(TransportError):
+            RateBased(10, payload_bytes=100, min_rtt_ps=0)
+
+
+class TestRateBasedEndToEnd:
+    def test_incast_completes_under_bbr(self):
+        scenario = IncastScenario(
+            degree=4,
+            total_bytes=megabytes(16),
+            interdc=small_interdc_config(),
+            transport=TransportConfig(payload_bytes=4096, cc="bbr"),
+        )
+        for scheme in ("baseline", "streamlined"):
+            result = run_incast(replace(scenario, scheme=scheme))
+            assert result.completed, scheme
+
+    def test_proxy_still_wins_under_bbr(self):
+        scenario = IncastScenario(
+            degree=4,
+            total_bytes=megabytes(24),
+            interdc=small_interdc_config(),
+            transport=TransportConfig(payload_bytes=4096, cc="bbr"),
+        )
+        base = run_incast(scenario)
+        prox = run_incast(replace(scenario, scheme="streamlined"))
+        assert prox.ict_ps < base.ict_ps

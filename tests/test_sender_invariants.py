@@ -1,0 +1,134 @@
+"""Property-based state-machine test of the sender's bookkeeping.
+
+Drives a :class:`WindowedSender` against a scripted network: hypothesis
+chooses an arbitrary interleaving of ACKs (in any order, cumulative or
+not), NACKs (valid and duplicate), and timer firings, and after every step
+the sender's accounting invariants must hold:
+
+* ``pipe`` equals the number of sequences in the INFLIGHT state and is
+  never negative;
+* a sequence is never ACKed *and* pending retransmission at pop time;
+* the sender completes exactly when the receiver's cumulative ack covers
+  the flow, and never "un-completes";
+* every payload byte handed to the network belongs to the flow exactly
+  (no sequence above ``total_packets``).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TransportConfig
+from repro.net.packet import make_ack, make_nack
+from repro.sim.simulator import Simulator
+from repro.transport.connection import make_congestion_control
+from repro.transport.rtt import RttEstimator
+from repro.transport.sender import WindowedSender
+from repro.units import microseconds, milliseconds
+
+
+class ScriptedHost:
+    """Stands in for a Host: records transmissions, never delivers."""
+
+    def __init__(self) -> None:
+        self.id = 1
+        self.sent = []  # packets in transmission order
+        self.nic_rate_bps = 100e9
+
+    def send(self, packet) -> None:
+        self.sent.append(packet)
+
+
+def make_sender(total_packets=24, cwnd=6.0):
+    sim = Simulator(seed=0)
+    host = ScriptedHost()
+    cfg = TransportConfig(payload_bytes=1000, min_rto_ps=milliseconds(1))
+    cc = make_congestion_control(cfg, cwnd)
+    rtt = RttEstimator(microseconds(100), milliseconds(1), milliseconds(400))
+    sender = WindowedSender(
+        sim, host, 7, 2, total_packets, total_packets * 1000, cfg, cc, rtt
+    )
+    return sim, host, sender
+
+
+def check_invariants(sender):
+    inflight = sum(1 for state in sender._state.values() if state == 0)
+    assert sender.pipe == inflight, "pipe must equal INFLIGHT count"
+    assert sender.pipe >= 0
+    assert all(0 <= seq < sender.total_packets for seq in sender._state)
+    if sender.completed:
+        assert sender.cum_ack >= sender.total_packets
+
+
+@st.composite
+def event_scripts(draw):
+    """A random interleaving of network feedback events."""
+    total = draw(st.integers(min_value=4, max_value=32))
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["ack", "cumack", "nack", "rto", "dup_nack"]),
+                st.integers(min_value=0, max_value=total - 1),
+            ),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    return total, steps
+
+
+class TestSenderStateMachine:
+    @settings(deadline=None, max_examples=120)
+    @given(event_scripts())
+    def test_bookkeeping_invariants_under_arbitrary_feedback(self, script):
+        total, steps = script
+        sim, host, sender = make_sender(total_packets=total, cwnd=total / 3)
+        sender.start()
+        check_invariants(sender)
+        now = [microseconds(10)]
+
+        def at(fn):
+            now[0] += microseconds(10)
+            sim.schedule_at(now[0], fn)
+            sim.run(until=now[0])
+
+        for kind, seq in steps:
+            if sender.completed:
+                break
+            if kind in ("ack", "cumack"):
+                sent_copy = next(
+                    (p for p in host.sent if p.seq == seq), None
+                )
+                ts_echo = sent_copy.ts if sent_copy is not None else now[0]
+                cum = (
+                    max(sender.cum_ack, seq + 1) if kind == "cumack"
+                    else sender.cum_ack
+                )
+                ack = make_ack(7, 2, 1, ack_seq=cum, echo_seq=seq,
+                               ecn_echo=(seq % 3 == 0), ts_echo=ts_echo)
+                at(lambda ack=ack: sender.on_packet(ack))
+            elif kind in ("nack", "dup_nack"):
+                nack = make_nack(7, seq, 2, 1, ts_echo=now[0] - microseconds(5))
+                at(lambda nack=nack: sender.on_packet(nack))
+                if kind == "dup_nack":
+                    at(lambda nack=nack: sender.on_packet(nack))
+            else:  # rto
+                at(sender._on_rto)
+            check_invariants(sender)
+
+        # Drain: cumulatively ack everything; the sender must finish cleanly.
+        final = make_ack(7, 2, 1, ack_seq=total, echo_seq=total - 1,
+                         ecn_echo=False, ts_echo=now[0])
+        at(lambda: sender.on_packet(final))
+        assert sender.completed
+        check_invariants(sender)
+        assert sender.stats.completed_at is not None
+
+    @settings(deadline=None, max_examples=40)
+    @given(st.integers(min_value=1, max_value=64), st.integers(min_value=1, max_value=64))
+    def test_transmissions_never_exceed_window_or_flow(self, total, cwnd):
+        sim, host, sender = make_sender(total_packets=total, cwnd=float(cwnd))
+        sender.start()
+        assert len(host.sent) == min(total, cwnd)
+        assert {p.seq for p in host.sent} == set(range(min(total, cwnd)))

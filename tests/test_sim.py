@@ -1,0 +1,241 @@
+"""The discrete-event kernel: scheduler, simulator, timers, RNG, tracing."""
+
+import pytest
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.rng import RngRegistry
+from repro.sim.scheduler import EventScheduler
+from repro.sim.simulator import Simulator
+from repro.sim.timers import Timer
+from repro.sim.tracing import RecordingTracer
+
+
+class TestEventScheduler:
+    def test_pops_in_time_order(self):
+        sched = EventScheduler()
+        order = []
+        sched.schedule_at(30, lambda: order.append(30))
+        sched.schedule_at(10, lambda: order.append(10))
+        sched.schedule_at(20, lambda: order.append(20))
+        while (event := sched.pop_next()) is not None:
+            event.callback()
+        assert order == [10, 20, 30]
+
+    def test_same_tick_is_fifo(self):
+        sched = EventScheduler()
+        order = []
+        for i in range(5):
+            sched.schedule_at(7, lambda i=i: order.append(i))
+        while (event := sched.pop_next()) is not None:
+            event.callback()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_cancelled_events_are_skipped(self):
+        sched = EventScheduler()
+        keep = sched.schedule_at(2, lambda: None)
+        drop = sched.schedule_at(1, lambda: None)
+        drop.cancel()
+        assert sched.next_time() == 2
+        assert sched.pop_next() is keep
+
+    def test_len_counts_only_pending(self):
+        sched = EventScheduler()
+        events = [sched.schedule_at(i, lambda: None) for i in range(4)]
+        events[1].cancel()
+        events[3].cancel()
+        assert len(sched) == 2
+
+    def test_bool_reflects_pending(self):
+        sched = EventScheduler()
+        assert not sched
+        event = sched.schedule_at(1, lambda: None)
+        assert sched
+        event.cancel()
+        assert not sched
+
+    def test_validate_time_rejects_past(self):
+        sched = EventScheduler()
+        with pytest.raises(SchedulingError):
+            sched.validate_time(now=100, time=99)
+        sched.validate_time(now=100, time=100)  # boundary is fine
+
+
+class TestSimulator:
+    def test_clock_advances_with_events(self, sim):
+        times = []
+        sim.schedule(5, lambda: times.append(sim.now))
+        sim.schedule(15, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [5, 15]
+
+    def test_schedule_is_relative(self, sim):
+        seen = []
+        def chain():
+            seen.append(sim.now)
+            if len(seen) < 3:
+                sim.schedule(10, chain)
+        sim.schedule(10, chain)
+        sim.run()
+        assert seen == [10, 20, 30]
+
+    def test_run_until_advances_clock_even_when_idle(self, sim):
+        sim.run(until=500)
+        assert sim.now == 500
+
+    def test_run_until_leaves_future_events(self, sim):
+        fired = []
+        sim.schedule(100, lambda: fired.append(1))
+        sim.run(until=50)
+        assert fired == [] and sim.now == 50
+        sim.run()
+        assert fired == [1] and sim.now == 100
+
+    def test_stop_halts_immediately(self, sim):
+        fired = []
+        def first():
+            fired.append(1)
+            sim.stop()
+        sim.schedule(1, first)
+        sim.schedule(2, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_max_events_bounds_execution(self, sim):
+        count = [0]
+        for i in range(10):
+            sim.schedule(i + 1, lambda: count.__setitem__(0, count[0] + 1))
+        sim.run(max_events=4)
+        assert count[0] == 4
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_reentrant_run_rejected(self, sim):
+        def evil():
+            sim.run()
+        sim.schedule(1, evil)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_events_executed_accumulates(self, sim):
+        for i in range(3):
+            sim.schedule(i + 1, lambda: None)
+        sim.run()
+        assert sim.events_executed == 3
+
+    def test_deterministic_given_seed(self):
+        def run_once(seed):
+            s = Simulator(seed=seed)
+            draws = []
+            s.schedule(1, lambda: draws.append(s.rng.stream("x").random()))
+            s.run()
+            return draws[0]
+        assert run_once(1) == run_once(1)
+        assert run_once(1) != run_once(2)
+
+
+class TestTimer:
+    def test_fires_after_delay(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.restart(100)
+        sim.run()
+        assert fired == [100]
+
+    def test_restart_supersedes(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.restart(100)
+        sim.schedule(50, lambda: timer.restart(100))
+        sim.run()
+        assert fired == [150]
+
+    def test_stop_prevents_firing(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.restart(10)
+        timer.stop()
+        sim.run()
+        assert fired == []
+
+    def test_start_if_idle_does_not_rearm(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.restart(100)
+        timer.start_if_idle(5)
+        sim.run()
+        assert fired == [100]
+
+    def test_armed_and_expires_at(self, sim):
+        timer = Timer(sim, lambda: None)
+        assert not timer.armed and timer.expires_at is None
+        timer.restart(42)
+        assert timer.armed and timer.expires_at == 42
+        sim.run()
+        assert not timer.armed
+
+    def test_can_rearm_after_firing(self, sim):
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.restart(10)
+        sim.run()
+        timer.restart(10)
+        sim.run()
+        assert fired == [10, 20]
+
+
+class TestRngRegistry:
+    def test_streams_are_deterministic(self):
+        a = RngRegistry(1).stream("spray")
+        b = RngRegistry(1).stream("spray")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_streams_are_independent(self):
+        reg = RngRegistry(1)
+        x = reg.stream("x")
+        seq1 = [x.random() for _ in range(3)]
+        reg2 = RngRegistry(1)
+        reg2.stream("y").random()  # interleave another consumer
+        seq2 = [reg2.stream("x").random() for _ in range(3)]
+        assert seq1 == seq2
+
+    def test_same_stream_returned(self):
+        reg = RngRegistry(0)
+        assert reg.stream("a") is reg.stream("a")
+
+    def test_fork_differs(self):
+        reg = RngRegistry(5)
+        forked = reg.fork(1)
+        assert reg.stream("x").random() != forked.stream("x").random()
+
+
+class TestTracing:
+    def test_recording_tracer_captures(self, ):
+        tracer = RecordingTracer()
+        sim = Simulator(seed=0, tracer=tracer)
+        sim.schedule(5, lambda: sim.trace("src", "kind", value=3))
+        sim.run()
+        assert len(tracer.records) == 1
+        record = tracer.records[0]
+        assert (record.time, record.source, record.kind) == (5, "src", "kind")
+        assert record.details == {"value": 3}
+
+    def test_kind_filter(self):
+        tracer = RecordingTracer(kinds={"keep"})
+        sim = Simulator(seed=0, tracer=tracer)
+        sim.schedule(1, lambda: sim.trace("s", "keep"))
+        sim.schedule(2, lambda: sim.trace("s", "drop"))
+        sim.run()
+        assert [r.kind for r in tracer.records] == ["keep"]
+        assert tracer.of_kind("keep") == tracer.records
+
+    def test_null_tracer_is_free(self, sim):
+        sim.schedule(1, lambda: sim.trace("s", "anything", x=1))
+        sim.run()  # must not raise or record

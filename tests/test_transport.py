@@ -1,0 +1,243 @@
+"""Transport endpoints over tiny networks: delivery, loss recovery, NACKs."""
+
+import pytest
+
+from repro.config import TransportConfig
+from repro.net.packet import PacketType, make_nack
+from repro.transport.connection import Connection, make_congestion_control
+from repro.errors import TransportError
+from repro.units import kilobytes, megabytes, microseconds, milliseconds
+from tests.conftest import build_incast_star, build_pair
+
+
+def run_transfer(sim, net, src, dst, nbytes, cfg, **kw):
+    conn = Connection(net, src, dst, nbytes, cfg, **kw)
+    conn.start()
+    sim.run(until=milliseconds(500))
+    return conn
+
+
+class TestLosslessTransfer:
+    def test_single_packet_flow(self, sim, transport_cfg):
+        net, a, b = build_pair(sim)
+        conn = run_transfer(sim, net, a, b, 100, transport_cfg)
+        assert conn.completed
+        assert conn.receiver.stats.bytes_received == 100
+        assert conn.sender.stats.retransmissions == 0
+
+    def test_multi_packet_flow_delivers_all_bytes(self, sim, transport_cfg):
+        net, a, b = build_pair(sim)
+        conn = run_transfer(sim, net, a, b, 100_000, transport_cfg)
+        assert conn.completed
+        assert conn.receiver.stats.bytes_received == 100_000
+        assert conn.receiver.cum == conn.total_packets
+
+    def test_tail_packet_carries_partial_payload(self, sim, transport_cfg):
+        net, a, b = build_pair(sim)
+        conn = run_transfer(sim, net, a, b, 1500, transport_cfg)  # 1024 + 476
+        assert conn.total_packets == 2
+        assert conn.completed
+        assert conn.receiver.stats.bytes_received == 1500
+
+    def test_acks_flow_back(self, sim, transport_cfg):
+        net, a, b = build_pair(sim)
+        conn = run_transfer(sim, net, a, b, 10_000, transport_cfg)
+        assert conn.sender.stats.acks_received == conn.receiver.stats.acks_sent
+        assert conn.sender.stats.acks_received >= conn.total_packets
+
+    def test_rtt_estimate_converges_to_path(self, sim, transport_cfg):
+        net, a, b = build_pair(sim, delay_ps=microseconds(5))
+        conn = run_transfer(sim, net, a, b, 50_000, transport_cfg)
+        # 4 propagation legs of 5us plus serialization: srtt in the right ballpark
+        assert microseconds(15) < conn.rtt.srtt < microseconds(80)
+
+    def test_completion_callbacks_fire(self, sim, transport_cfg):
+        net, a, b = build_pair(sim)
+        done = []
+        conn = Connection(net, a, b, 5000, transport_cfg,
+                          on_receiver_complete=lambda r: done.append("rx"),
+                          on_sender_complete=lambda s: done.append("tx"))
+        conn.start()
+        sim.run(until=milliseconds(100))
+        assert "rx" in done and "tx" in done
+
+    def test_start_delay(self, sim, transport_cfg):
+        net, a, b = build_pair(sim)
+        conn = Connection(net, a, b, 1000, transport_cfg)
+        conn.start(delay_ps=milliseconds(1))
+        sim.run(until=milliseconds(50))
+        assert conn.receiver.stats.completed_at > milliseconds(1)
+
+
+class TestInitialWindow:
+    def test_window_scales_with_path_bdp(self, sim, transport_cfg):
+        net, a, b = build_pair(sim, delay_ps=milliseconds(1))
+        long_conn = Connection(net, a, b, 10_000, transport_cfg)
+        assert long_conn.cc.cwnd == pytest.approx(
+            long_conn.bdp_bytes / transport_cfg.payload_bytes, rel=0.01
+        )
+        assert long_conn.base_rtt_ps > 2 * milliseconds(1)
+
+    def test_min_rto_scales_with_rtt(self, sim, transport_cfg):
+        net, a, b = build_pair(sim, delay_ps=milliseconds(1))
+        conn = Connection(net, a, b, 10_000, transport_cfg)
+        assert conn.rtt.min_rto >= transport_cfg.rto_floor_rtt_multiple * 2 * milliseconds(1)
+
+    def test_explicit_min_rto_override(self, sim):
+        cfg = TransportConfig(payload_bytes=1024, min_rto_ps=milliseconds(7))
+        net, a, b = build_pair(sim)
+        conn = Connection(net, a, b, 10_000, cfg)
+        assert conn.rtt.min_rto == milliseconds(7)
+
+
+class TestLossRecovery:
+    def test_recovers_from_bottleneck_drops(self, sim, transport_cfg):
+        # A 100us path fattens the BDP (and thus the initial windows) far
+        # beyond the 60KB bottleneck buffer: first-RTT drops are guaranteed.
+        net, senders, rx = build_incast_star(
+            sim, 4, delay_ps=microseconds(100), bottleneck_capacity=kilobytes(60)
+        )
+        conns = [
+            Connection(net, s, rx, 200_000, transport_cfg, label=f"f{i}")
+            for i, s in enumerate(senders)
+        ]
+        for c in conns:
+            c.start()
+        sim.run(until=milliseconds(2000))
+        assert all(c.completed for c in conns)
+        total_retx = sum(c.sender.stats.retransmissions for c in conns)
+        assert total_retx > 0  # losses actually happened and were repaired
+
+    def test_every_byte_delivered_exactly_once(self, sim, transport_cfg):
+        net, senders, rx = build_incast_star(
+            sim, 2, delay_ps=microseconds(100), bottleneck_capacity=kilobytes(40)
+        )
+        conns = [Connection(net, s, rx, 150_000, transport_cfg) for s in senders]
+        for c in conns:
+            c.start()
+        sim.run(until=milliseconds(2000))
+        for c in conns:
+            assert c.receiver.stats.bytes_received == 150_000
+
+    def test_trimming_bottleneck_generates_nacks(self, sim, transport_cfg):
+        net, senders, rx = build_incast_star(
+            sim, 4, delay_ps=microseconds(100),
+            bottleneck_capacity=kilobytes(60), trimming=True,
+        )
+        conns = [Connection(net, s, rx, 200_000, transport_cfg) for s in senders]
+        for c in conns:
+            c.start()
+        sim.run(until=milliseconds(2000))
+        assert all(c.completed for c in conns)
+        nacks = sum(c.sender.stats.nacks_received for c in conns)
+        assert nacks > 0
+        # the receiver (not a proxy) reflected the trimmed headers
+        assert sum(c.receiver.stats.nacks_sent for c in conns) == nacks
+
+    def test_nack_triggers_retransmission(self, sim, transport_cfg):
+        net, a, b = build_pair(sim)
+        conn = Connection(net, a, b, 50_000, transport_cfg)
+        conn.start()
+        sim.run(max_events=4)  # a few packets are in flight
+        sender = conn.sender
+        target = 0
+        assert sender._state.get(target) is not None
+        nack = make_nack(conn.flow_id, target, b.id, a.id, ts_echo=sender._sent_ts[target])
+        cuts_before = sender.cc.cuts
+        sender.on_packet(nack)
+        assert sender.stats.nacks_received == 1
+        assert sender.cc.cuts == cuts_before + 1  # NACK cut the window
+        assert sender._state[target] != 0  # seq 0 is marked lost
+        sim.run(until=milliseconds(100))
+        # The spurious NACK is repaired (or superseded by the original copy)
+        # and the transfer still completes exactly.
+        assert conn.completed
+        assert conn.receiver.stats.bytes_received == 50_000
+
+    def test_duplicate_nack_ignored(self, sim, transport_cfg):
+        net, a, b = build_pair(sim)
+        conn = Connection(net, a, b, 50_000, transport_cfg)
+        conn.start()
+        sim.run(max_events=4)
+        sender = conn.sender
+        nack = make_nack(conn.flow_id, 0, b.id, a.id, ts_echo=sender._sent_ts[0])
+        sender.on_packet(nack)
+        cuts_after_first = sender.cc.cuts
+        sender.on_packet(make_nack(conn.flow_id, 0, b.id, a.id, ts_echo=1))
+        assert sender.cc.cuts == cuts_after_first
+        sim.run(until=milliseconds(100))
+        assert conn.completed
+
+    def test_timeout_resets_window(self, sim, transport_cfg):
+        # Deliver data into a black hole: receiver host has no handler wired
+        # for ACK return (we drop ACKs by unregistering the sender handler).
+        net, a, b = build_pair(sim)
+        conn = Connection(net, a, b, 10_000, transport_cfg)
+        a.unregister_handler(conn.flow_id)  # sender never hears back
+        a.register_handler(conn.flow_id, lambda p: None)
+        conn.start()
+        sim.run(until=milliseconds(300))
+        assert conn.sender.stats.timeouts >= 1
+        assert conn.sender.cc.cwnd <= conn.cc.ssthresh
+
+
+class TestRelayMode:
+    def test_release_gates_transmission(self, sim, transport_cfg):
+        net, a, b = build_pair(sim)
+        conn = Connection(net, a, b, 5 * 1024, transport_cfg, available_packets=0)
+        conn.start()
+        sim.run(until=milliseconds(1))
+        assert conn.receiver.stats.data_packets == 0
+        conn.sender.release(2)
+        sim.run(until=milliseconds(2))
+        assert conn.receiver.cum == 2
+        conn.sender.release(3)
+        sim.run(until=milliseconds(10))
+        assert conn.completed
+
+    def test_release_caps_at_total(self, sim, transport_cfg):
+        net, a, b = build_pair(sim)
+        conn = Connection(net, a, b, 2048, transport_cfg, available_packets=0)
+        conn.sender.release(100)
+        assert conn.sender.available == conn.total_packets
+
+    def test_negative_release_rejected(self, sim, transport_cfg):
+        net, a, b = build_pair(sim)
+        conn = Connection(net, a, b, 2048, transport_cfg, available_packets=0)
+        with pytest.raises(TransportError):
+            conn.sender.release(-1)
+
+
+class TestConnectionWiring:
+    def test_distinct_flow_ids(self, sim, transport_cfg):
+        net, a, b = build_pair(sim)
+        c1 = Connection(net, a, b, 1000, transport_cfg)
+        c2 = Connection(net, b, a, 1000, transport_cfg)
+        assert c1.flow_id != c2.flow_id
+
+    def test_teardown_unregisters(self, sim, transport_cfg):
+        net, a, b = build_pair(sim)
+        conn = Connection(net, a, b, 1000, transport_cfg)
+        conn.teardown()
+        assert conn.flow_id not in a.handlers
+        assert conn.flow_id not in b.handlers
+
+    def test_same_host_rejected(self, sim, transport_cfg):
+        net, a, b = build_pair(sim)
+        with pytest.raises(TransportError):
+            Connection(net, a, a, 1000, transport_cfg)
+
+    def test_zero_bytes_rejected(self, sim, transport_cfg):
+        net, a, b = build_pair(sim)
+        with pytest.raises(TransportError):
+            Connection(net, a, b, 0, transport_cfg)
+
+    def test_cc_factory(self, transport_cfg):
+        assert make_congestion_control(transport_cfg, 10).cwnd == 10
+        assert make_congestion_control(transport_cfg, 10, "aimd").cwnd == 10
+        unlimited = make_congestion_control(transport_cfg, 10, "unlimited")
+        assert unlimited.can_send(10**9)
+        bbr = make_congestion_control(transport_cfg, 10, "bbr", base_rtt_ps=10**6)
+        assert bbr.cwnd == 10
+        with pytest.raises(TransportError):
+            make_congestion_control(transport_cfg, 10, "carrier-pigeon")

@@ -1,0 +1,111 @@
+"""Unit arithmetic and parsing."""
+
+import pytest
+
+from repro import units
+from repro.errors import UnitError
+
+
+class TestTimeConversions:
+    def test_base_units_are_exact(self):
+        assert units.nanoseconds(1) == 1_000
+        assert units.microseconds(1) == 1_000_000
+        assert units.milliseconds(1) == 1_000_000_000
+        assert units.seconds(1) == 1_000_000_000_000
+
+    def test_fractional_values_round(self):
+        assert units.microseconds(1.5) == 1_500_000
+        assert units.milliseconds(0.0000005) == 500
+
+    def test_roundtrip_to_seconds(self):
+        assert units.to_seconds(units.seconds(2.5)) == pytest.approx(2.5)
+        assert units.to_microseconds(units.microseconds(17)) == pytest.approx(17)
+        assert units.to_milliseconds(units.milliseconds(3)) == pytest.approx(3)
+
+
+class TestBandwidth:
+    def test_100gbps_is_80ps_per_byte(self):
+        assert units.serialization_delay_ps(1, units.gbps(100)) == 80
+
+    def test_full_packet_at_100g(self):
+        assert units.serialization_delay_ps(4096, units.gbps(100)) == 327_680
+
+    def test_zero_bytes_is_instant(self):
+        assert units.serialization_delay_ps(0, units.gbps(1)) == 0
+
+    def test_invalid_rate_raises(self):
+        with pytest.raises(UnitError):
+            units.serialization_delay_ps(100, 0)
+        with pytest.raises(UnitError):
+            units.serialization_delay_ps(-1, units.gbps(1))
+
+    def test_bdp_paper_scale(self):
+        # 100 Gb/s x 4 ms RTT ~= 50 MB: the paper's destructive initial window.
+        bdp = units.bandwidth_delay_product_bytes(units.gbps(100), units.milliseconds(4))
+        assert bdp == 50_000_000
+
+    def test_bdp_validates(self):
+        with pytest.raises(UnitError):
+            units.bandwidth_delay_product_bytes(0, 100)
+        with pytest.raises(UnitError):
+            units.bandwidth_delay_product_bytes(units.gbps(1), -5)
+
+
+class TestSizes:
+    def test_decimal_prefixes(self):
+        assert units.kilobytes(33.2) == 33_200
+        assert units.megabytes(17.015) == 17_015_000
+        assert units.gigabytes(1) == 1_000_000_000
+
+
+class TestParsing:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("1ms", units.milliseconds(1)), ("250us", units.microseconds(250)),
+         ("3ns", units.nanoseconds(3)), ("1.5s", units.seconds(1.5)), ("42", 42),
+         (17, 17), (2.6, 3)],
+    )
+    def test_durations(self, text, expected):
+        assert units.parse_duration(text) == expected
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("100Gbps", 100e9), ("10gbps", 10e9), ("1.5Mbps", 1.5e6), ("9600bps", 9600),
+         ("12", 12.0)],
+    )
+    def test_rates(self, text, expected):
+        assert units.parse_rate(text) == pytest.approx(expected)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [("100MB", 100_000_000), ("33.2KB", 33_200), ("1GB", 1_000_000_000), ("64B", 64),
+         ("77", 77)],
+    )
+    def test_sizes(self, text, expected):
+        assert units.parse_size(text) == expected
+
+    @pytest.mark.parametrize("text", ["abc", "1 parsec", "ms", "", "1..2ms"])
+    def test_garbage_raises(self, text):
+        with pytest.raises(UnitError):
+            units.parse_duration(text)
+
+    def test_unknown_units_raise(self):
+        with pytest.raises(UnitError):
+            units.parse_rate("10 knots")
+        with pytest.raises(UnitError):
+            units.parse_size("10 furlongs")
+
+
+class TestFormatting:
+    def test_duration_adaptive(self):
+        assert units.format_duration(units.seconds(1.5)) == "1.500s"
+        assert units.format_duration(units.milliseconds(2)) == "2.000ms"
+        assert units.format_duration(units.microseconds(3)) == "3.000us"
+        assert units.format_duration(units.nanoseconds(4)) == "4.000ns"
+        assert units.format_duration(500) == "500ps"
+
+    def test_size_adaptive(self):
+        assert units.format_size(1_500_000_000) == "1.50GB"
+        assert units.format_size(2_000_000) == "2.00MB"
+        assert units.format_size(33_200) == "33.20KB"
+        assert units.format_size(64) == "64B"

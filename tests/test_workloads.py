@@ -1,0 +1,242 @@
+"""Workload generators: byte conservation, shapes, and validation."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads import (
+    MoEConfig,
+    QuorumConfig,
+    ReconstructionConfig,
+    moe_dispatch_jobs,
+    quorum_write_jobs,
+    reconstruction_jobs,
+    uniform_incast,
+)
+from repro.workloads.incast import IncastJob
+
+
+class TestIncastJob:
+    def test_uniform_split_conserves_bytes(self):
+        job = uniform_incast("x", degree=3, total_bytes=100)
+        assert job.total_bytes == 100
+        assert job.degree == 3
+        assert max(job.flow_bytes) - min(job.flow_bytes) <= 1
+
+    def test_sender_offset(self):
+        job = uniform_incast("x", degree=2, total_bytes=10, sender_offset=5)
+        assert job.sender_indices == (5, 6)
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(WorkloadError):
+            IncastJob("x", (0, 1), 0, (100,))
+
+    def test_zero_flow_rejected(self):
+        with pytest.raises(WorkloadError):
+            IncastJob("x", (0,), 0, (0,))
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(WorkloadError):
+            IncastJob("x", (0,), 0, (1,), start_ps=-1)
+
+    def test_degree_validation(self):
+        with pytest.raises(WorkloadError):
+            uniform_incast("x", degree=0, total_bytes=10)
+        with pytest.raises(WorkloadError):
+            uniform_incast("x", degree=20, total_bytes=10)
+
+
+class TestMoE:
+    def test_token_conservation(self):
+        cfg = MoEConfig(senders=4, experts=3, tokens_per_sender=100, token_bytes=10)
+        jobs = moe_dispatch_jobs(cfg)
+        total = sum(job.total_bytes for job in jobs)
+        assert total == 4 * 100 * 10
+
+    def test_one_job_per_expert_per_step(self):
+        cfg = MoEConfig(senders=4, experts=3, steps=2, tokens_per_sender=500)
+        jobs = moe_dispatch_jobs(cfg)
+        assert len(jobs) == 6
+        receivers = {job.receiver_index for job in jobs}
+        assert receivers == {0, 1, 2}
+
+    def test_zipf_skew_loads_first_expert_most(self):
+        cfg = MoEConfig(senders=8, experts=4, tokens_per_sender=2000, zipf_skew=1.5)
+        jobs = moe_dispatch_jobs(cfg)
+        by_expert = {job.receiver_index: job.total_bytes for job in jobs}
+        assert by_expert[0] > by_expert[3]
+
+    def test_uniform_gating_balances(self):
+        cfg = MoEConfig(senders=8, experts=4, tokens_per_sender=5000, zipf_skew=0.0)
+        jobs = moe_dispatch_jobs(cfg)
+        sizes = [job.total_bytes for job in jobs]
+        assert max(sizes) < 1.2 * min(sizes)
+
+    def test_steps_are_spaced(self):
+        cfg = MoEConfig(steps=3, step_interval_ps=1000)
+        jobs = moe_dispatch_jobs(cfg)
+        starts = sorted({job.start_ps for job in jobs})
+        assert starts == [0, 1000, 2000]
+
+    def test_deterministic_by_seed(self):
+        a = moe_dispatch_jobs(MoEConfig(seed=5))
+        b = moe_dispatch_jobs(MoEConfig(seed=5))
+        assert [j.flow_bytes for j in a] == [j.flow_bytes for j in b]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            MoEConfig(senders=0)
+        with pytest.raises(WorkloadError):
+            MoEConfig(zipf_skew=-1)
+
+
+class TestStorageReconstruction:
+    def test_degree_is_k(self):
+        jobs = reconstruction_jobs(ReconstructionConfig(data_fragments=6))
+        assert jobs[0].degree == 6
+        assert all(b == 16_000_000 for b in jobs[0].flow_bytes)
+
+    def test_senders_are_distinct_stripe_servers(self):
+        jobs = reconstruction_jobs(ReconstructionConfig(data_fragments=6, servers=10))
+        assert len(set(jobs[0].sender_indices)) == 6
+        assert max(jobs[0].sender_indices) < 10
+
+    def test_multiple_reconstructions_spread(self):
+        cfg = ReconstructionConfig(reconstructions=3, spread_ps=500)
+        jobs = reconstruction_jobs(cfg)
+        assert [j.start_ps for j in jobs] == [0, 500, 1000]
+        assert len({j.receiver_index for j in jobs}) == 3
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            ReconstructionConfig(data_fragments=10, servers=5)
+
+
+class TestQuorumWrites:
+    def test_degree_is_shard_count(self):
+        jobs = quorum_write_jobs(QuorumConfig(shards=12))
+        assert jobs[0].degree == 12
+
+    def test_jitter_bounds(self):
+        cfg = QuorumConfig(shards=50, batch_bytes_mean=1000, batch_bytes_jitter=0.5)
+        job = quorum_write_jobs(cfg)[0]
+        assert all(500 <= b <= 1500 for b in job.flow_bytes)
+
+    def test_no_jitter_is_exact(self):
+        cfg = QuorumConfig(shards=4, batch_bytes_mean=1000, batch_bytes_jitter=0.0)
+        job = quorum_write_jobs(cfg)[0]
+        assert all(b == 1000 for b in job.flow_bytes)
+
+    def test_epochs(self):
+        cfg = QuorumConfig(epochs=2, epoch_interval_ps=77)
+        jobs = quorum_write_jobs(cfg)
+        assert [j.start_ps for j in jobs] == [0, 77]
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            QuorumConfig(batch_bytes_jitter=1.0)
+
+
+class TestPoissonArrivals:
+    def _cfg(self, **kw):
+        from repro.workloads import ArrivalConfig
+        defaults = dict(jobs=10, mean_interarrival_ps=1_000_000, degree=2,
+                        total_bytes_mean=1_000_000, receivers=3, sender_pool=6, seed=1)
+        defaults.update(kw)
+        return ArrivalConfig(**defaults)
+
+    def test_jobs_ordered_by_start_time(self):
+        from repro.workloads import poisson_incasts
+        jobs = poisson_incasts(self._cfg())
+        starts = [j.start_ps for j in jobs]
+        assert starts == sorted(starts)
+        assert len(jobs) == 10
+
+    def test_interarrival_mean_roughly_respected(self):
+        from repro.workloads import poisson_incasts
+        jobs = poisson_incasts(self._cfg(jobs=2000))
+        gaps = [b.start_ps - a.start_ps for a, b in zip(jobs, jobs[1:])]
+        mean = sum(gaps) / len(gaps)
+        assert 0.85e6 < mean < 1.15e6
+
+    def test_senders_stay_within_pool(self):
+        from repro.workloads import poisson_incasts
+        jobs = poisson_incasts(self._cfg())
+        for job in jobs:
+            assert max(job.sender_indices) < 6
+            assert len(set(job.sender_indices)) == job.degree
+
+    def test_receivers_rotate(self):
+        from repro.workloads import poisson_incasts
+        jobs = poisson_incasts(self._cfg())
+        assert {j.receiver_index for j in jobs} == {0, 1, 2}
+
+    def test_sizes_jittered_around_mean(self):
+        from repro.workloads import poisson_incasts
+        jobs = poisson_incasts(self._cfg(jobs=200, total_bytes_jitter=0.3))
+        sizes = [j.total_bytes for j in jobs]
+        assert all(700_000 <= s <= 1_300_000 for s in sizes)
+        assert len(set(sizes)) > 50  # actually jittered
+
+    def test_deterministic_by_seed(self):
+        from repro.workloads import poisson_incasts
+        a = poisson_incasts(self._cfg(seed=9))
+        b = poisson_incasts(self._cfg(seed=9))
+        assert [(j.start_ps, j.flow_bytes) for j in a] == \
+               [(j.start_ps, j.flow_bytes) for j in b]
+
+    def test_validation(self):
+        import pytest as _pytest
+        from repro.errors import WorkloadError
+        from repro.workloads import ArrivalConfig
+        with _pytest.raises(WorkloadError):
+            ArrivalConfig(degree=10, sender_pool=4)
+        with _pytest.raises(WorkloadError):
+            ArrivalConfig(mean_interarrival_ps=0)
+
+    def test_churn_run_end_to_end(self):
+        from repro.config import TransportConfig, small_interdc_config
+        from repro.orchestration import run_concurrent_incasts
+        from repro.workloads import poisson_incasts
+        from repro.units import milliseconds
+        cfg = self._cfg(jobs=4, degree=2, total_bytes_mean=4_000_000,
+                        mean_interarrival_ps=milliseconds(2), sender_pool=6)
+        jobs = poisson_incasts(cfg)
+        result = run_concurrent_incasts(
+            jobs, scheme="streamlined", strategy="central",
+            interdc=small_interdc_config(),
+            transport=TransportConfig(payload_bytes=4096),
+        )
+        assert result.completed
+        assert len(result.ict_ps) == 4
+
+
+class TestMoECombine:
+    def test_one_job_per_worker(self):
+        from repro.workloads import MoEConfig, moe_combine_jobs
+        cfg = MoEConfig(senders=4, experts=3, tokens_per_sender=500)
+        jobs = moe_combine_jobs(cfg)
+        assert len(jobs) == 4
+        assert {j.receiver_index for j in jobs} == {0, 1, 2, 3}
+
+    def test_combine_conserves_dispatch_bytes(self):
+        from repro.workloads import MoEConfig, moe_combine_jobs, moe_dispatch_jobs
+        cfg = MoEConfig(senders=4, experts=3, tokens_per_sender=500, seed=3)
+        dispatched = sum(j.total_bytes for j in moe_dispatch_jobs(cfg))
+        combined = sum(j.total_bytes for j in moe_combine_jobs(cfg))
+        assert dispatched == combined  # same gating assignment, same seed
+
+    def test_combine_runs_reversed_end_to_end(self):
+        from repro.config import TransportConfig, small_interdc_config
+        from repro.orchestration import run_concurrent_incasts
+        from repro.workloads import MoEConfig, moe_combine_jobs
+        cfg = MoEConfig(senders=3, experts=2, tokens_per_sender=800,
+                        token_bytes=4096, seed=1)
+        jobs = moe_combine_jobs(cfg)
+        result = run_concurrent_incasts(
+            jobs, scheme="streamlined", strategy="central",
+            interdc=small_interdc_config(),
+            transport=TransportConfig(payload_bytes=4096),
+            reverse=True,
+        )
+        assert result.completed
+        assert len(result.ict_ps) == len(jobs)
