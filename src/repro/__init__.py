@@ -29,6 +29,11 @@ from repro.config import (
     paper_interdc_config,
     small_interdc_config,
 )
+from repro.experiments.parallel import (
+    ExperimentEngine,
+    ResultCache,
+    run_incast_batch,
+)
 from repro.experiments.runner import SCHEMES, IncastResult, IncastScenario, run_incast
 from repro.experiments.sweeps import degree_sweep, latency_sweep, size_sweep
 from repro.net.network import Network
@@ -40,12 +45,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Connection",
+    "ExperimentEngine",
     "FabricConfig",
     "IncastResult",
     "IncastScenario",
     "InterDcConfig",
     "Network",
     "QueueSpec",
+    "ResultCache",
     "SCHEMES",
     "Simulator",
     "TransportConfig",
@@ -55,6 +62,7 @@ __all__ = [
     "latency_sweep",
     "paper_interdc_config",
     "run_incast",
+    "run_incast_batch",
     "size_sweep",
     "small_interdc_config",
 ]

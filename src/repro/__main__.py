@@ -6,17 +6,48 @@ Commands:
   (see ``python -m repro figures --help``);
 * ``verdicts`` — the automated claim-by-claim scorecard;
 * ``quickstart`` — the headline comparison, one table.
+
+Global simulation-execution flags (also accepted by ``figures``):
+
+* ``--workers N``  — fan independent runs over N simulation processes
+  (0 = one per CPU; default 1 = serial);
+* ``--no-cache``   — always re-simulate instead of reusing the on-disk
+  sweep result cache.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
+
+
+def _quickstart(workers: int, no_cache: bool) -> None:
+    from dataclasses import replace
+
+    from repro.config import TransportConfig, small_interdc_config
+    from repro.experiments.figures import build_engine
+    from repro.experiments.runner import SCHEMES, IncastScenario
+    from repro.units import format_duration, megabytes
+
+    scenario = IncastScenario(
+        degree=4,
+        total_bytes=megabytes(40),
+        interdc=small_interdc_config(),
+        transport=TransportConfig(payload_bytes=4096),
+    )
+    engine = build_engine(workers, no_cache)
+    results = engine.run_incasts(
+        [replace(scenario, scheme=scheme) for scheme in SCHEMES]
+    )
+    print(f"{'scheme':<14} {'ICT':>12}")
+    for scheme, result in zip(SCHEMES, results):
+        print(f"{scheme:<14} {format_duration(result.ict_ps):>12}")
 
 
 def main(argv: list[str] | None = None) -> None:
     """Dispatch to a subcommand."""
     args = list(sys.argv[1:] if argv is None else argv)
-    command = args.pop(0) if args else "quickstart"
+    command = args.pop(0) if args and not args[0].startswith("-") else "quickstart"
     if command == "figures":
         from repro.experiments.figures import main as figures_main
 
@@ -26,23 +57,22 @@ def main(argv: list[str] | None = None) -> None:
 
         verdicts_main(args)
     elif command == "quickstart":
-        from dataclasses import replace
-
-        from repro.config import TransportConfig
-        from repro.experiments.runner import IncastScenario, run_incast
-        from repro.config import small_interdc_config
-        from repro.units import format_duration, megabytes
-
-        scenario = IncastScenario(
-            degree=4,
-            total_bytes=megabytes(40),
-            interdc=small_interdc_config(),
-            transport=TransportConfig(payload_bytes=4096),
+        parser = argparse.ArgumentParser(
+            prog="python -m repro quickstart",
+            description="the headline four-scheme comparison",
         )
-        print(f"{'scheme':<14} {'ICT':>12}")
-        for scheme in ("baseline", "naive", "streamlined", "trimless"):
-            result = run_incast(replace(scenario, scheme=scheme))
-            print(f"{scheme:<14} {format_duration(result.ict_ps):>12}")
+        parser.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help="simulation processes (0 = one per CPU; default serial)",
+        )
+        parser.add_argument(
+            "--no-cache", action="store_true",
+            help="always re-simulate; skip the on-disk result cache",
+        )
+        opts = parser.parse_args(args)
+        if opts.workers < 0:
+            parser.error(f"--workers must be non-negative, got {opts.workers}")
+        _quickstart(opts.workers, opts.no_cache)
     else:
         print(f"unknown command {command!r}; try: figures, verdicts, quickstart",
               file=sys.stderr)

@@ -1,6 +1,9 @@
 """Experiment harness: single incast runs, sweeps, and figure regeneration.
 
 * :mod:`repro.experiments.runner` — run one incast under one scheme.
+* :mod:`repro.experiments.parallel` — the parallel execution engine:
+  process-pool fan-out with deterministic merge and an on-disk result
+  cache keyed by scenario hash.
 * :mod:`repro.experiments.sweeps` — the paper's three parameter sweeps
   (incast degree, incast size, long-haul latency) with repetitions.
 * :mod:`repro.experiments.figures` — regenerate every paper figure as a
@@ -12,12 +15,21 @@ from repro.experiments.cascade import (
     CASCADE_SCHEMES,
     CascadeResult,
     CascadeScenario,
+    compare_cascade,
     run_cascade,
 )
 from repro.experiments.convergence import (
     ConvergenceResult,
     compare_convergence,
     measure_convergence,
+)
+from repro.experiments.parallel import (
+    ExecutionStats,
+    ExperimentEngine,
+    ResultCache,
+    run_incast_batch,
+    run_parallel,
+    scenario_key,
 )
 from repro.experiments.runner import SCHEMES, IncastResult, IncastScenario, run_incast
 from repro.experiments.verdicts import Scorecard, Verdict, evaluate as evaluate_claims
@@ -28,6 +40,7 @@ from repro.experiments.sweeps import (
     latency_sweep,
     run_scheme_summary,
     size_sweep,
+    sweep_digest,
 )
 
 __all__ = [
@@ -35,13 +48,17 @@ __all__ = [
     "CascadeResult",
     "CascadeScenario",
     "ConvergenceResult",
+    "ExecutionStats",
+    "ExperimentEngine",
     "IncastResult",
     "IncastScenario",
+    "ResultCache",
     "SCHEMES",
     "SchemeSummary",
     "Scorecard",
     "SweepPoint",
     "Verdict",
+    "compare_cascade",
     "compare_convergence",
     "degree_sweep",
     "evaluate_claims",
@@ -49,6 +66,10 @@ __all__ = [
     "measure_convergence",
     "run_cascade",
     "run_incast",
+    "run_incast_batch",
+    "run_parallel",
     "run_scheme_summary",
+    "scenario_key",
     "size_sweep",
+    "sweep_digest",
 ]

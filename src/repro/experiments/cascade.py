@@ -17,7 +17,7 @@ the source across all of them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.config import TransportConfig
 from repro.errors import ExperimentError
@@ -132,3 +132,26 @@ def run_cascade(scenario: CascadeScenario) -> CascadeResult:
         counters=collect_network_counters(net),
         relays_used=len(relay_hosts),
     )
+
+
+def compare_cascade(
+    base: CascadeScenario,
+    schemes: tuple[str, ...] = CASCADE_SCHEMES,
+    *,
+    workers: int | None = 1,
+) -> dict[str, CascadeResult]:
+    """Run ``base`` under each relay placement, fanning out over the engine.
+
+    Results are merged in scheme order, so the mapping is identical for any
+    worker count.
+    """
+    unknown = set(schemes) - set(CASCADE_SCHEMES)
+    if unknown:
+        raise ExperimentError(f"unknown cascade schemes {sorted(unknown)}")
+    from repro.experiments.parallel import ExperimentEngine
+
+    engine = ExperimentEngine(workers=workers)
+    results = engine.map(
+        run_cascade, [replace(base, scheme=scheme) for scheme in schemes]
+    )
+    return dict(zip(schemes, results))

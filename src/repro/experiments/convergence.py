@@ -167,21 +167,43 @@ def _derive(result: ConvergenceResult, sustain_samples: int) -> None:
     )
 
 
+def _convergence_task(
+    task: tuple[IncastScenario, int, float],
+) -> ConvergenceResult:
+    """Top-level (picklable) worker for the parallel engine."""
+    scenario, sample_interval_ps, target_fraction = task
+    return measure_convergence(
+        scenario,
+        sample_interval_ps=sample_interval_ps,
+        target_fraction=target_fraction,
+    )
+
+
 def compare_convergence(
     base: IncastScenario,
     schemes: tuple[str, ...] = ("baseline", "naive", "streamlined"),
     sample_interval_ps: int = microseconds(100),
     target_fraction: float = 0.8,
+    *,
+    workers: int | None = 1,
 ) -> dict[str, ConvergenceResult]:
-    """Convergence metrics for each scheme on the same scenario."""
+    """Convergence metrics for each scheme on the same scenario.
+
+    With ``workers > 1`` the per-scheme runs fan out over the parallel
+    engine; results are merged in scheme order, so the returned mapping is
+    identical for any worker count.
+    """
     unknown = set(schemes) - set(SCHEMES)
     if unknown:
         raise ExperimentError(f"unknown schemes {sorted(unknown)}")
-    return {
-        scheme: measure_convergence(
-            replace(base, scheme=scheme),
-            sample_interval_ps=sample_interval_ps,
-            target_fraction=target_fraction,
-        )
-        for scheme in schemes
-    }
+    from repro.experiments.parallel import ExperimentEngine
+
+    engine = ExperimentEngine(workers=workers)
+    results = engine.map(
+        _convergence_task,
+        [
+            (replace(base, scheme=scheme), sample_interval_ps, target_fraction)
+            for scheme in schemes
+        ],
+    )
+    return dict(zip(schemes, results))

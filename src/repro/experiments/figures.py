@@ -15,6 +15,11 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.config import TransportConfig
+from repro.experiments.parallel import (
+    DEFAULT_CACHE_DIR,
+    ExperimentEngine,
+    ResultCache,
+)
 from repro.experiments.report import average_reductions, render_table, sweep_table
 from repro.experiments.runner import IncastScenario
 from repro.experiments.sweeps import SweepPoint, degree_sweep, latency_sweep, size_sweep
@@ -40,14 +45,25 @@ PAPER_ANCHORS = {
 }
 
 
-def figure2_left(full: bool = False, reps: int | None = None) -> list[SweepPoint]:
+def figure2_left(
+    full: bool = False,
+    reps: int | None = None,
+    *,
+    engine: ExperimentEngine | None = None,
+) -> list[SweepPoint]:
     """Fig. 2 (Left): ICT vs incast degree at fixed 100 MB total."""
     scenario = _base_scenario(full)
     degrees = (2, 4, 8, 16, 32, 60) if full else (2, 4, 8)
-    return degree_sweep(scenario, degrees, SCHEMES, reps=_reps(full, reps))
+    return degree_sweep(scenario, degrees, SCHEMES, reps=_reps(full, reps),
+                        engine=engine)
 
 
-def figure2_right(full: bool = False, reps: int | None = None) -> list[SweepPoint]:
+def figure2_right(
+    full: bool = False,
+    reps: int | None = None,
+    *,
+    engine: ExperimentEngine | None = None,
+) -> list[SweepPoint]:
     """Fig. 2 (Right): ICT vs incast size at fixed degree 4."""
     scenario = _base_scenario(full)
     sizes = (
@@ -55,10 +71,16 @@ def figure2_right(full: bool = False, reps: int | None = None) -> list[SweepPoin
         if full
         else (megabytes(10), megabytes(20), megabytes(50))
     )
-    return size_sweep(scenario, sizes, SCHEMES, reps=_reps(full, reps))
+    return size_sweep(scenario, sizes, SCHEMES, reps=_reps(full, reps),
+                      engine=engine)
 
 
-def figure3(full: bool = False, reps: int | None = None) -> list[SweepPoint]:
+def figure3(
+    full: bool = False,
+    reps: int | None = None,
+    *,
+    engine: ExperimentEngine | None = None,
+) -> list[SweepPoint]:
     """Fig. 3: ICT vs long-haul link latency at degree 4, 100 MB."""
     scenario = _base_scenario(full)
     delays = (
@@ -67,7 +89,8 @@ def figure3(full: bool = False, reps: int | None = None) -> list[SweepPoint]:
         if full
         else (microseconds(10), microseconds(100), milliseconds(1))
     )
-    return latency_sweep(scenario, delays, SCHEMES, reps=_reps(full, reps))
+    return latency_sweep(scenario, delays, SCHEMES, reps=_reps(full, reps),
+                         engine=engine)
 
 
 def figure4(packets: int = 100_000, seed: int = 0) -> str:
@@ -136,6 +159,20 @@ def _anchor_key(name: str) -> str:
     }[name]
 
 
+def build_engine(
+    workers: int | None,
+    no_cache: bool,
+    cache_dir: Path | None = None,
+) -> ExperimentEngine:
+    """The engine the figure drivers share, honoring the CLI cache flags."""
+    cache = None if no_cache else ResultCache(cache_dir or DEFAULT_CACHE_DIR)
+    return ExperimentEngine(
+        workers=workers,
+        cache=cache,
+        on_fallback=lambda reason: print(f"[parallel] {reason}"),
+    )
+
+
 def main(argv: Sequence[str] | None = None) -> None:
     """CLI entry point."""
     parser = argparse.ArgumentParser(description=__doc__)
@@ -152,21 +189,52 @@ def main(argv: Sequence[str] | None = None) -> None:
         "--export", type=Path, default=None, metavar="DIR",
         help="also write each figure's data as CSV into DIR",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="simulation processes to fan sweep points over (0 = one per CPU)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always re-simulate; skip the on-disk sweep result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help=f"sweep result cache location (default {DEFAULT_CACHE_DIR})",
+    )
     args = parser.parse_args(argv)
+    if args.workers < 0:
+        parser.error(f"--workers must be non-negative, got {args.workers}")
     wanted = set(args.only) if args.only else {"fig2l", "fig2r", "fig3", "fig4", "fig5"}
+    engine = build_engine(args.workers, args.no_cache, args.cache_dir)
 
     if "fig2l" in wanted:
-        _print_sweep("Figure 2 (Left)", figure2_left(args.full, args.reps), args.export)
+        _print_sweep("Figure 2 (Left)",
+                     figure2_left(args.full, args.reps, engine=engine), args.export)
     if "fig2r" in wanted:
-        _print_sweep("Figure 2 (Right)", figure2_right(args.full, args.reps), args.export)
+        _print_sweep("Figure 2 (Right)",
+                     figure2_right(args.full, args.reps, engine=engine), args.export)
     if "fig3" in wanted:
-        _print_sweep("Figure 3", figure3(args.full, args.reps), args.export)
+        _print_sweep("Figure 3",
+                     figure3(args.full, args.reps, engine=engine), args.export)
     if "fig4" in wanted:
         print(f"\n(paper: {PAPER_ANCHORS['fig4']})")
         print(figure4())
     if "fig5" in wanted:
         print(f"\n(paper: {PAPER_ANCHORS['fig5a']}; {PAPER_ANCHORS['fig5b']})")
         print(figure5())
+    stats = engine.stats
+    if stats.tasks:
+        line = (
+            f"\n[engine] {stats.tasks} runs, {stats.cache_hits} cached, "
+            f"{stats.cache_misses} simulated, workers={stats.workers}, "
+            f"wall {stats.wall_seconds:.2f}s"
+        )
+        if stats.cache_misses:
+            line += (
+                f" (serial-equivalent {stats.sim_wall_seconds:.2f}s, "
+                f"speedup {stats.speedup:.2f}x)"
+            )
+        print(line)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,338 @@
+"""Parallel experiment execution with deterministic merge and a result cache.
+
+Every figure in the paper is a parameter sweep that runs each scheme
+``reps`` times per x-axis point; the trials are independent seeded runs,
+so they fan out over a process pool the same way RepFlow replicates flows:
+do the work N ways, merge deterministically.  This module provides
+
+* :func:`run_parallel` — fan any picklable ``fn`` over items on a
+  ``multiprocessing`` pool (``fork`` preferred, ``spawn``-safe) with
+  results returned **in input order** regardless of completion order, and
+  a graceful fallback to in-process execution when ``workers <= 1``, the
+  items are unpicklable, or the platform cannot provide a pool;
+* :func:`scenario_key` — a stable content hash of any config dataclass
+  (scheme, degree, bytes, nested configs, seed), suitable as a cache key;
+* :class:`ResultCache` — an on-disk pickle store keyed by scenario hash,
+  so re-running a figure only simulates changed points;
+* :class:`ExperimentEngine` — the object the sweeps, figure drivers, and
+  CLI sit on: cached, parallel ``run_incasts`` plus a generic ``map``,
+  with :class:`ExecutionStats` accounting (cache hits, simulated wall
+  time vs engine wall time) so the speedup is measurable.
+
+Determinism contract: each simulation is a pure function of its scenario
+(seed included), so for a fixed scenario list the engine returns the same
+results — bitwise, minus host-dependent wall-clock fields — for any worker
+count, completion order, or cache state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import time
+from dataclasses import dataclass, is_dataclass
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.errors import ExperimentError
+from repro.experiments.runner import IncastResult, IncastScenario, run_incast
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Bump when the result schema changes so stale cache entries never load.
+CACHE_SCHEMA_VERSION = 1
+
+#: Default on-disk cache location (override with $REPRO_CACHE_DIR).
+DEFAULT_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", "results/.sweep-cache"))
+
+
+# ---------------------------------------------------------------------------
+# Stable scenario hashing
+# ---------------------------------------------------------------------------
+
+class Uncacheable(ExperimentError):
+    """The scenario embeds state (e.g. a callable) with no stable hash."""
+
+
+def _canonical(value: Any) -> Any:
+    """Recursively reduce a config value to JSON-encodable primitives.
+
+    Raises :class:`Uncacheable` for values without a stable content
+    representation (callables such as ``proxy_delay_sampler``).
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _canonical(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"__type__": type(value).__name__, **fields}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items())}
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise Uncacheable(f"no stable representation for {type(value).__name__}")
+
+
+def scenario_key(scenario: Any) -> str:
+    """Stable SHA-256 content hash of a config dataclass.
+
+    Two scenarios that compare equal field-by-field hash identically across
+    processes and interpreter runs; any field change (scheme, degree,
+    bytes, nested config, seed) changes the key.  Raises :class:`Uncacheable`
+    for scenarios carrying callables (``proxy_delay_sampler``).
+    """
+    if not is_dataclass(scenario) or isinstance(scenario, type):
+        raise Uncacheable(f"cache keys require a dataclass, got {type(scenario).__name__}")
+    payload = json.dumps(
+        {"schema": CACHE_SCHEMA_VERSION, "scenario": _canonical(scenario)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache
+# ---------------------------------------------------------------------------
+
+class ResultCache:
+    """Pickle-per-entry result store keyed by :func:`scenario_key`.
+
+    Entries are written atomically (tmp file + rename) so a crashed or
+    concurrent run never leaves a truncated entry; unreadable entries are
+    treated as misses and overwritten.
+    """
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+
+    def path_for(self, key: str) -> Path:
+        """Where ``key``'s entry lives (two-level fanout keeps dirs small)."""
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Any | None:
+        """Load the cached value for ``key``, or None on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            return None
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` atomically."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("wb") as fh:
+            pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return removed
+        for entry in self.root.glob("*/*.pkl"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# The pool
+# ---------------------------------------------------------------------------
+
+def resolve_workers(workers: int | None) -> int:
+    """Normalize a worker-count request: None/0 = one per available CPU."""
+    if workers is None or workers == 0:
+        return max(1, os.cpu_count() or 1)
+    if workers < 0:
+        raise ExperimentError(f"workers must be non-negative, got {workers}")
+    return workers
+
+
+def _pool_context():
+    """Pick a multiprocessing context: ``fork`` where available, else spawn."""
+    import multiprocessing
+
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def _all_picklable(values: Iterable[Any]) -> bool:
+    try:
+        for value in values:
+            pickle.dumps(value)
+    except Exception:
+        return False
+    return True
+
+
+def run_parallel(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    workers: int | None = 1,
+    on_fallback: Callable[[str], None] | None = None,
+) -> list[R]:
+    """Apply ``fn`` to every item, fanning out over a process pool.
+
+    Results come back **in input order** no matter which worker finished
+    first, so callers merge deterministically.  Falls back to in-process
+    serial execution — same results, same order — when ``workers <= 1``,
+    there is at most one item, the work is unpicklable, or the platform
+    refuses to start a pool (sandboxes without /dev/shm, missing fork).
+    """
+    items = list(items)
+    workers = resolve_workers(workers)
+    effective = min(workers, len(items))
+    if effective <= 1:
+        return [fn(item) for item in items]
+    if not _all_picklable([fn]) or not _all_picklable(items):
+        if on_fallback is not None:
+            on_fallback("work items are not picklable; running serially")
+        return [fn(item) for item in items]
+
+    from concurrent.futures import ProcessPoolExecutor
+
+    try:
+        with ProcessPoolExecutor(
+            max_workers=effective, mp_context=_pool_context()
+        ) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            return [future.result() for future in futures]
+    except (OSError, ImportError, PermissionError) as exc:
+        if on_fallback is not None:
+            on_fallback(f"process pool unavailable ({exc}); running serially")
+        return [fn(item) for item in items]
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExecutionStats:
+    """What one engine did: task counts, cache traffic, and timing."""
+
+    tasks: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    workers: int = 1
+    #: wall-clock the engine spent orchestrating (pool + cache + merge).
+    wall_seconds: float = 0.0
+    #: summed single-run wall-clock of the simulations actually executed —
+    #: the serial-equivalent cost, so speedup = sim_wall_seconds / wall_seconds.
+    sim_wall_seconds: float = 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Serial-equivalent time over engine wall time (>1 = parallel win)."""
+        if self.wall_seconds <= 0:
+            return 1.0
+        return self.sim_wall_seconds / self.wall_seconds
+
+
+class ExperimentEngine:
+    """Cached, parallel executor for independent seeded experiment runs."""
+
+    def __init__(
+        self,
+        workers: int | None = 1,
+        cache: ResultCache | None = None,
+        *,
+        on_fallback: Callable[[str], None] | None = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.cache = cache
+        self.on_fallback = on_fallback
+        self.stats = ExecutionStats(workers=self.workers)
+
+    # -- generic fan-out -----------------------------------------------------
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Uncached deterministic fan-out of ``fn`` over ``items``."""
+        start = time.perf_counter()
+        results = run_parallel(
+            fn, items, workers=self.workers, on_fallback=self.on_fallback
+        )
+        self.stats.tasks += len(results)
+        self.stats.wall_seconds += time.perf_counter() - start
+        return results
+
+    # -- incast runs ---------------------------------------------------------
+
+    def run_incasts(self, scenarios: Sequence[IncastScenario]) -> list[IncastResult]:
+        """Run every scenario (cache-aware), results in input order."""
+        start = time.perf_counter()
+        scenarios = list(scenarios)
+        results: list[IncastResult | None] = [None] * len(scenarios)
+        misses: list[tuple[int, IncastScenario]] = []
+
+        for i, scenario in enumerate(scenarios):
+            cached = self._lookup(scenario)
+            if cached is not None:
+                cached.from_cache = True
+                results[i] = cached
+                self.stats.cache_hits += 1
+            else:
+                misses.append((i, scenario))
+
+        if misses:
+            fresh = run_parallel(
+                run_incast,
+                [scenario for _, scenario in misses],
+                workers=self.workers,
+                on_fallback=self.on_fallback,
+            )
+            for (i, scenario), result in zip(misses, fresh):
+                results[i] = result
+                self.stats.cache_misses += 1
+                self.stats.sim_wall_seconds += result.wall_seconds
+                self._store(scenario, result)
+
+        self.stats.tasks += len(scenarios)
+        self.stats.wall_seconds += time.perf_counter() - start
+        return [r for r in results if r is not None]
+
+    def _lookup(self, scenario: IncastScenario) -> IncastResult | None:
+        if self.cache is None:
+            return None
+        try:
+            key = scenario_key(scenario)
+        except Uncacheable:
+            return None
+        value = self.cache.get(key)
+        return value if isinstance(value, IncastResult) else None
+
+    def _store(self, scenario: IncastScenario, result: IncastResult) -> None:
+        if self.cache is None:
+            return
+        try:
+            key = scenario_key(scenario)
+        except Uncacheable:
+            return
+        try:
+            self.cache.put(key, result)
+        except OSError:  # read-only filesystem: run uncached, don't fail
+            pass
+
+
+def run_incast_batch(
+    scenarios: Sequence[IncastScenario],
+    *,
+    workers: int | None = 1,
+    cache: ResultCache | None = None,
+) -> list[IncastResult]:
+    """One-shot convenience wrapper around :class:`ExperimentEngine`."""
+    return ExperimentEngine(workers=workers, cache=cache).run_incasts(scenarios)

@@ -84,6 +84,9 @@ class IncastResult:
     flow_completion_ps: list[int]
     completed: bool
     events_executed: int
+    #: single-run wall-clock of the simulation itself; summed across a batch
+    #: it is the serial-equivalent cost the parallel engine's speedup is
+    #: measured against (see repro.experiments.parallel.ExecutionStats).
     wall_seconds: float
     counters: NetworkCounters
     retransmissions: int
@@ -91,6 +94,10 @@ class IncastResult:
     nacks_received: int
     marked_acks: int
     proxy_nacks_sent: int
+    #: True when the parallel engine served this result from its on-disk
+    #: cache instead of simulating (wall_seconds then reports the original
+    #: simulation's cost, not the lookup's).
+    from_cache: bool = False
 
     @property
     def ict_ms(self) -> float:

@@ -3,15 +3,23 @@
 Each sweep point runs every scheme ``reps`` times with distinct seeds and
 summarizes incast completion time as average / minimum / maximum — exactly
 what Figures 2 and 3 plot — plus the reduction relative to the baseline.
+
+All simulations of a sweep are independent seeded runs, so the whole
+(point x scheme x rep) grid is flattened and handed to the parallel
+execution engine (:mod:`repro.experiments.parallel`) in one batch; the
+engine's deterministic input-order merge means a sweep's summaries are
+bit-identical for any worker count or cache state.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from repro.errors import ExperimentError
-from repro.experiments.runner import IncastResult, IncastScenario, run_incast
+from repro.experiments.parallel import ExperimentEngine, ResultCache
+from repro.experiments.runner import IncastResult, IncastScenario
 from repro.metrics.summary import SummaryStat, summarize
 
 
@@ -47,17 +55,22 @@ class SweepPoint:
         return self.schemes[scheme].reduction_vs_baseline
 
 
-def run_scheme_summary(
-    scenario: IncastScenario, reps: int, seed0: int = 0
-) -> tuple[SchemeSummary, list[IncastResult]]:
-    """Run ``scenario`` ``reps`` times (seeds ``seed0..``) and summarize."""
-    if reps < 1:
-        raise ExperimentError("reps must be at least 1")
-    results = [run_incast(replace(scenario, seed=seed0 + r)) for r in range(reps)]
-    icts = [r.ict_ps for r in results]
-    summary = SchemeSummary(
-        scheme=scenario.scheme,
-        ict=summarize(icts),
+def _resolve_engine(
+    engine: ExperimentEngine | None,
+    workers: int | None,
+    cache: ResultCache | None,
+) -> ExperimentEngine:
+    if engine is not None:
+        return engine
+    return ExperimentEngine(workers=workers, cache=cache)
+
+
+def _summarize_scheme(scheme: str, results: Sequence[IncastResult]) -> SchemeSummary:
+    """Fold one scheme's repetitions into the stats the figures plot."""
+    reps = len(results)
+    return SchemeSummary(
+        scheme=scheme,
+        ict=summarize([r.ict_ps for r in results]),
         reduction_vs_baseline=None,
         retransmissions=sum(r.retransmissions for r in results) / reps,
         timeouts=sum(r.timeouts for r in results) / reps,
@@ -65,7 +78,25 @@ def run_scheme_summary(
         drops=sum(r.counters.packets_dropped for r in results) / reps,
         all_completed=all(r.completed for r in results),
     )
-    return summary, results
+
+
+def run_scheme_summary(
+    scenario: IncastScenario,
+    reps: int,
+    seed0: int = 0,
+    *,
+    engine: ExperimentEngine | None = None,
+    workers: int | None = 1,
+    cache: ResultCache | None = None,
+) -> tuple[SchemeSummary, list[IncastResult]]:
+    """Run ``scenario`` ``reps`` times (seeds ``seed0..``) and summarize."""
+    if reps < 1:
+        raise ExperimentError("reps must be at least 1")
+    engine = _resolve_engine(engine, workers, cache)
+    results = engine.run_incasts(
+        [replace(scenario, seed=seed0 + r) for r in range(reps)]
+    )
+    return _summarize_scheme(scenario.scheme, results), results
 
 
 def _sweep(
@@ -73,13 +104,34 @@ def _sweep(
     points: Iterable[tuple[float, str, IncastScenario]],
     schemes: Sequence[str],
     reps: int,
+    engine: ExperimentEngine | None = None,
+    workers: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> list[SweepPoint]:
+    if reps < 1:
+        raise ExperimentError("reps must be at least 1")
+    engine = _resolve_engine(engine, workers, cache)
+    points = list(points)
+
+    # Flatten the whole grid into one batch so the pool sees maximum
+    # parallelism, then slice results back in the same deterministic order.
+    grid = [
+        replace(scenario, scheme=scheme, seed=rep)
+        for _, _, scenario in points
+        for scheme in schemes
+        for rep in range(reps)
+    ]
+    results = engine.run_incasts(grid)
+
     sweep: list[SweepPoint] = []
-    for x, label, scenario in points:
+    cursor = 0
+    for x, label, _ in points:
         summaries: dict[str, SchemeSummary] = {}
         for scheme in schemes:
-            summary, _ = run_scheme_summary(replace(scenario, scheme=scheme), reps)
-            summaries[scheme] = summary
+            summaries[scheme] = _summarize_scheme(
+                scheme, results[cursor : cursor + reps]
+            )
+            cursor += reps
         baseline = summaries.get("baseline")
         if baseline is not None:
             for scheme, summary in summaries.items():
@@ -89,17 +141,42 @@ def _sweep(
     return sweep
 
 
+def sweep_digest(points: Sequence[SweepPoint]) -> str:
+    """Stable SHA-256 digest of a sweep's summaries.
+
+    Covers every field that feeds the figures (x, label, per-scheme ICT
+    stats, counters, reductions) — used by the determinism tests, the
+    scaling benchmark, and the CI smoke job to assert that two runs
+    produced bit-identical summaries.
+    """
+    parts: list[str] = []
+    for point in points:
+        parts.append(f"{point.x!r}|{point.label}")
+        for scheme, s in point.schemes.items():
+            parts.append(
+                f"{scheme}|{s.ict.mean!r}|{s.ict.minimum!r}|{s.ict.maximum!r}"
+                f"|{s.ict.stdev!r}|{s.ict.count}|{s.reduction_vs_baseline!r}"
+                f"|{s.retransmissions!r}|{s.timeouts!r}|{s.trims!r}"
+                f"|{s.drops!r}|{s.all_completed}"
+            )
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
 def degree_sweep(
     base: IncastScenario,
     degrees: Sequence[int],
     schemes: Sequence[str] = ("baseline", "naive", "streamlined"),
     reps: int = 5,
+    *,
+    engine: ExperimentEngine | None = None,
+    workers: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> list[SweepPoint]:
     """Figure 2 (Left): fixed total size, varying incast degree."""
     points = (
         (float(d), f"degree={d}", replace(base, degree=d)) for d in degrees
     )
-    return _sweep(base, points, schemes, reps)
+    return _sweep(base, points, schemes, reps, engine, workers, cache)
 
 
 def size_sweep(
@@ -107,13 +184,17 @@ def size_sweep(
     sizes_bytes: Sequence[int],
     schemes: Sequence[str] = ("baseline", "naive", "streamlined"),
     reps: int = 5,
+    *,
+    engine: ExperimentEngine | None = None,
+    workers: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> list[SweepPoint]:
     """Figure 2 (Right): fixed degree, varying total incast size."""
     points = (
         (float(s), f"size={s / 1e6:g}MB", replace(base, total_bytes=s))
         for s in sizes_bytes
     )
-    return _sweep(base, points, schemes, reps)
+    return _sweep(base, points, schemes, reps, engine, workers, cache)
 
 
 def latency_sweep(
@@ -121,6 +202,10 @@ def latency_sweep(
     backbone_delays_ps: Sequence[int],
     schemes: Sequence[str] = ("baseline", "naive", "streamlined"),
     reps: int = 5,
+    *,
+    engine: ExperimentEngine | None = None,
+    workers: int | None = 1,
+    cache: ResultCache | None = None,
 ) -> list[SweepPoint]:
     """Figure 3: fixed degree and size, varying long-haul link latency."""
     points = (
@@ -131,4 +216,4 @@ def latency_sweep(
         )
         for d in backbone_delays_ps
     )
-    return _sweep(base, points, schemes, reps)
+    return _sweep(base, points, schemes, reps, engine, workers, cache)

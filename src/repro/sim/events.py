@@ -14,17 +14,26 @@ from typing import Any, Callable
 class Event:
     """A cancellable callback scheduled at an absolute simulation time."""
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "_scheduler")
 
     def __init__(self, time: int, seq: int, callback: Callable[[], Any]) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        # Owning scheduler, set on push and cleared on pop/cancel, so the
+        # scheduler's live pending-event counter stays exact without a scan.
+        self._scheduler: Any = None
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        scheduler = self._scheduler
+        if scheduler is not None:
+            self._scheduler = None
+            scheduler._pending -= 1
 
     @property
     def pending(self) -> bool:

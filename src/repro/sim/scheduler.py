@@ -19,16 +19,22 @@ from repro.sim.events import Event
 class EventScheduler:
     """A time-ordered queue of cancellable events."""
 
-    __slots__ = ("_heap", "_seq")
+    __slots__ = ("_heap", "_seq", "_pending")
 
     def __init__(self) -> None:
         self._heap: list[tuple[int, int, Event]] = []
         self._seq = 0
+        # Live count of non-cancelled events in the heap.  Incremented on
+        # push, decremented by Event.cancel() and by pop_next() when a live
+        # event leaves the heap, so __len__ is O(1).
+        self._pending = 0
 
     def schedule_at(self, time: int, callback: Callable[[], Any]) -> Event:
         """Schedule ``callback`` at absolute tick ``time``; returns the handle."""
         self._seq += 1
         event = Event(time, self._seq, callback)
+        event._scheduler = self
+        self._pending += 1
         heapq.heappush(self._heap, (time, self._seq, event))
         return event
 
@@ -48,15 +54,17 @@ class EventScheduler:
         while heap:
             event = heapq.heappop(heap)[2]
             if not event.cancelled:
+                event._scheduler = None
+                self._pending -= 1
                 return event
         return None
 
     def __len__(self) -> int:
-        """Number of pending (non-cancelled) events.  O(n); for tests/stats."""
-        return sum(1 for entry in self._heap if not entry[2].cancelled)
+        """Number of pending (non-cancelled) events.  O(1)."""
+        return self._pending
 
     def __bool__(self) -> bool:
-        return self.next_time() is not None
+        return self._pending > 0
 
     def validate_time(self, now: int, time: int) -> None:
         """Raise if ``time`` lies in the past relative to ``now``."""

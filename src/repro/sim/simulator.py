@@ -94,5 +94,5 @@ class Simulator:
             self.tracer.record(self.now, source, kind, **details)
 
     def pending_events(self) -> int:
-        """Number of events still queued (O(n); for tests and diagnostics)."""
+        """Number of events still queued (O(1))."""
         return len(self.scheduler)

@@ -193,6 +193,11 @@ class WindowedSender:
             stats.marked_acks += 1
         seq = packet.echo_seq
         self.cc.on_ack(now, packet.ecn_echo, seq, self.next_new)
+        # Forward progress = the cumulative ack or the SACK frontier advanced.
+        # Stale/duplicate ACKs (reordered copies of old acknowledgments) must
+        # not reset the exponential RTO backoff, or a reordering path could
+        # defeat the backoff entirely while the connection is still stalled.
+        progress = packet.ack_seq > self.cum_ack or seq > self.highest_sacked
         if seq > self.highest_sacked:
             self.highest_sacked = seq
         state = self._state.pop(seq, None)
@@ -204,7 +209,8 @@ class WindowedSender:
         if packet.ack_seq > self.cum_ack:
             self.cum_ack = packet.ack_seq
             self._purge_below_cum()
-        self._backoff = 0
+        if progress:
+            self._backoff = 0
 
         self._detect_rack_losses(packet.ts_echo)
 

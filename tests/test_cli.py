@@ -16,6 +16,12 @@ class TestDispatch:
         out = capsys.readouterr().out
         assert "Figure 5a" in out
 
+    def test_figures_accepts_parallel_flags(self, capsys, tmp_path):
+        main(["figures", "--only", "fig5", "--workers", "2", "--no-cache",
+              "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert "Figure 5a" in out
+
     def test_quickstart_prints_all_schemes(self, capsys):
         main(["quickstart"])
         out = capsys.readouterr().out

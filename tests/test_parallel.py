@@ -1,0 +1,202 @@
+"""The parallel execution engine: hashing, cache, pool, deterministic merge."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.config import TransportConfig, small_interdc_config
+from repro.errors import ExperimentError
+from repro.experiments.parallel import (
+    ExperimentEngine,
+    ResultCache,
+    Uncacheable,
+    resolve_workers,
+    run_incast_batch,
+    run_parallel,
+    scenario_key,
+)
+from repro.experiments.runner import IncastScenario, run_incast
+from repro.experiments.sweeps import degree_sweep, run_scheme_summary, sweep_digest
+from repro.units import megabytes, microseconds
+
+
+@pytest.fixture()
+def tiny_scenario() -> IncastScenario:
+    """Small enough that a single run takes ~tens of milliseconds."""
+    return IncastScenario(
+        degree=2,
+        total_bytes=megabytes(1),
+        interdc=small_interdc_config(),
+        transport=TransportConfig(payload_bytes=4096),
+    )
+
+
+def _square(x: int) -> int:  # top-level: picklable for the pool
+    return x * x
+
+
+class TestScenarioKey:
+    def test_stable_across_calls(self, tiny_scenario):
+        assert scenario_key(tiny_scenario) == scenario_key(tiny_scenario)
+
+    def test_equal_scenarios_hash_identically(self, tiny_scenario):
+        clone = replace(tiny_scenario)
+        assert scenario_key(clone) == scenario_key(tiny_scenario)
+
+    @pytest.mark.parametrize(
+        "change",
+        [
+            {"seed": 7},
+            {"degree": 3},
+            {"total_bytes": megabytes(2)},
+            {"scheme": "streamlined"},
+            {"routing": "ecmp"},
+        ],
+    )
+    def test_any_field_change_changes_key(self, tiny_scenario, change):
+        assert scenario_key(replace(tiny_scenario, **change)) != scenario_key(
+            tiny_scenario
+        )
+
+    def test_nested_config_change_changes_key(self, tiny_scenario):
+        varied = replace(
+            tiny_scenario,
+            interdc=tiny_scenario.interdc.with_backbone_delay(microseconds(5)),
+        )
+        assert scenario_key(varied) != scenario_key(tiny_scenario)
+
+    def test_callable_fields_are_uncacheable(self, tiny_scenario):
+        with_sampler = replace(tiny_scenario, proxy_delay_sampler=lambda: 0)
+        with pytest.raises(Uncacheable):
+            scenario_key(with_sampler)
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(Uncacheable):
+            scenario_key({"not": "a dataclass"})
+
+
+class TestRunParallel:
+    def test_serial_path(self):
+        assert run_parallel(_square, [3, 1, 2], workers=1) == [9, 1, 4]
+
+    def test_pool_preserves_input_order(self):
+        assert run_parallel(_square, list(range(8)), workers=2) == [
+            x * x for x in range(8)
+        ]
+
+    def test_unpicklable_work_falls_back_to_serial(self):
+        fallbacks = []
+        results = run_parallel(
+            lambda x: x + 1, [1, 2], workers=2, on_fallback=fallbacks.append
+        )
+        assert results == [2, 3]
+        assert fallbacks  # the caller was told why
+
+    def test_resolve_workers(self):
+        assert resolve_workers(3) == 3
+        assert resolve_workers(None) >= 1
+        assert resolve_workers(0) >= 1
+        with pytest.raises(ExperimentError):
+            resolve_workers(-1)
+
+
+class TestDeterministicMerge:
+    def test_workers_do_not_change_results(self, tiny_scenario):
+        scenarios = [replace(tiny_scenario, seed=s) for s in range(3)]
+        serial = run_incast_batch(scenarios, workers=1)
+        pooled = run_incast_batch(scenarios, workers=4)
+        assert [r.ict_ps for r in serial] == [r.ict_ps for r in pooled]
+        assert [r.counters for r in serial] == [r.counters for r in pooled]
+        assert [r.flow_completion_ps for r in serial] == [
+            r.flow_completion_ps for r in pooled
+        ]
+
+    def test_sweep_summaries_identical_across_worker_counts(self, tiny_scenario):
+        kwargs = dict(
+            degrees=(2, 3), schemes=("baseline", "streamlined"), reps=2
+        )
+        serial = degree_sweep(tiny_scenario, workers=1, **kwargs)
+        pooled = degree_sweep(tiny_scenario, workers=4, **kwargs)
+        assert sweep_digest(serial) == sweep_digest(pooled)
+
+    def test_scheme_summary_matches_direct_runs(self, tiny_scenario):
+        summary, results = run_scheme_summary(tiny_scenario, reps=2)
+        direct = [run_incast(replace(tiny_scenario, seed=s)) for s in range(2)]
+        assert [r.ict_ps for r in results] == [r.ict_ps for r in direct]
+        assert summary.ict.mean == sum(r.ict_ps for r in direct) / 2
+
+
+class TestResultCache:
+    def test_second_run_is_served_from_cache(self, tiny_scenario, tmp_path):
+        cache = ResultCache(tmp_path)
+        scenarios = [replace(tiny_scenario, seed=s) for s in range(2)]
+
+        first_engine = ExperimentEngine(workers=1, cache=cache)
+        first = first_engine.run_incasts(scenarios)
+        assert first_engine.stats.cache_misses == 2
+        assert first_engine.stats.cache_hits == 0
+        assert all(not r.from_cache for r in first)
+
+        second_engine = ExperimentEngine(workers=1, cache=cache)
+        second = second_engine.run_incasts(scenarios)
+        assert second_engine.stats.cache_hits == 2
+        assert second_engine.stats.cache_misses == 0
+        assert all(r.from_cache for r in second)
+        assert [r.ict_ps for r in first] == [r.ict_ps for r in second]
+        assert [r.counters for r in first] == [r.counters for r in second]
+
+    def test_cached_and_uncached_sweeps_summarize_identically(
+        self, tiny_scenario, tmp_path
+    ):
+        kwargs = dict(degrees=(2,), schemes=("baseline",), reps=2)
+        cache = ResultCache(tmp_path)
+        cold = degree_sweep(tiny_scenario, cache=cache, **kwargs)
+        warm = degree_sweep(tiny_scenario, cache=cache, **kwargs)
+        uncached = degree_sweep(tiny_scenario, **kwargs)
+        assert sweep_digest(cold) == sweep_digest(warm) == sweep_digest(uncached)
+
+    def test_changed_scenario_invalidates(self, tiny_scenario, tmp_path):
+        cache = ResultCache(tmp_path)
+        ExperimentEngine(workers=1, cache=cache).run_incasts([tiny_scenario])
+
+        engine = ExperimentEngine(workers=1, cache=cache)
+        engine.run_incasts([replace(tiny_scenario, seed=99)])
+        assert engine.stats.cache_hits == 0
+        assert engine.stats.cache_misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tiny_scenario, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = scenario_key(tiny_scenario)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a pickle")
+
+        engine = ExperimentEngine(workers=1, cache=cache)
+        results = engine.run_incasts([tiny_scenario])
+        assert engine.stats.cache_misses == 1
+        assert results[0].completed
+
+    def test_uncacheable_scenarios_just_run(self, tiny_scenario, tmp_path):
+        cache = ResultCache(tmp_path)
+        scenario = replace(tiny_scenario, proxy_delay_sampler=lambda: 0)
+        engine = ExperimentEngine(workers=1, cache=cache)
+        results = engine.run_incasts([scenario])
+        assert results[0].completed
+        assert cache.clear() == 0  # nothing was stored
+
+    def test_clear_removes_entries(self, tiny_scenario, tmp_path):
+        cache = ResultCache(tmp_path)
+        ExperimentEngine(workers=1, cache=cache).run_incasts([tiny_scenario])
+        assert cache.clear() == 1
+        assert cache.get(scenario_key(tiny_scenario)) is None
+
+
+class TestEngineStats:
+    def test_timing_is_threaded_through(self, tiny_scenario):
+        engine = ExperimentEngine(workers=1)
+        results = engine.run_incasts([tiny_scenario])
+        assert results[0].wall_seconds > 0
+        assert engine.stats.sim_wall_seconds >= results[0].wall_seconds
+        assert engine.stats.wall_seconds > 0
+        assert engine.stats.tasks == 1
+        assert engine.stats.speedup > 0

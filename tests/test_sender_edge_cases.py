@@ -4,7 +4,7 @@ import pytest
 
 from repro.config import TransportConfig
 from repro.metrics.summary import jain_fairness
-from repro.net.packet import PacketType
+from repro.net.packet import PacketType, make_ack
 from repro.transport.connection import Connection
 from repro.units import gbps, kilobytes, microseconds, milliseconds, serialization_delay_ps
 from tests.conftest import build_incast_star, build_pair
@@ -93,6 +93,43 @@ class TestRtoBackoff:
         assert conn.completed
         assert conn.sender.stats.timeouts >= 1
         assert conn.sender._backoff == 0  # progress after recovery reset it
+
+    def test_stale_duplicate_ack_keeps_backoff(self, sim, transport_cfg):
+        """Regression: a reordered copy of an old ACK — advancing neither
+        cum_ack nor the SACK frontier — must not reset exponential backoff."""
+        net, a, b = build_pair(sim)
+        conn = Connection(net, a, b, 500_000, transport_cfg)
+        sender = conn.sender
+        conn.start()
+        sim.run(until=microseconds(100))  # let some ACKs arrive
+        assert sender.cum_ack > 0 and not conn.completed
+        # Black-hole the uplink and accumulate timeouts.
+        net.set_link_state(a.id, net.adjacency[a.id][0], False)
+        sim.run(until=milliseconds(100))
+        assert sender._backoff >= 2
+        backed_off = sender._backoff
+
+        # A duplicate of the newest ACK already seen: no forward progress.
+        stale = make_ack(
+            sender.flow_id, b.id, a.id,
+            ack_seq=sender.cum_ack,
+            echo_seq=sender.highest_sacked,
+            ecn_echo=False,
+            ts_echo=-1,
+        )
+        sender.on_packet(stale)
+        assert sender._backoff == backed_off  # unchanged
+
+        # An ACK that does advance cum_ack resets the backoff.
+        fresh = make_ack(
+            sender.flow_id, b.id, a.id,
+            ack_seq=sender.cum_ack + 1,
+            echo_seq=sender.highest_sacked + 1,
+            ecn_echo=False,
+            ts_echo=-1,
+        )
+        sender.on_packet(fresh)
+        assert sender._backoff == 0
 
 
 class TestFairness:

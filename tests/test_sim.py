@@ -59,6 +59,43 @@ class TestEventScheduler:
             sched.validate_time(now=100, time=99)
         sched.validate_time(now=100, time=100)  # boundary is fine
 
+    def test_len_tracks_push_pop_cancel(self):
+        sched = EventScheduler()
+        events = [sched.schedule_at(i, lambda: None) for i in range(5)]
+        assert len(sched) == 5
+        events[0].cancel()
+        assert len(sched) == 4
+        events[0].cancel()  # double-cancel must not decrement twice
+        assert len(sched) == 4
+        assert sched.pop_next() is events[1]
+        assert len(sched) == 3
+        events[2].cancel()
+        events[3].cancel()
+        assert len(sched) == 1
+        assert sched.pop_next() is events[4]
+        assert len(sched) == 0
+        assert sched.pop_next() is None
+        assert len(sched) == 0
+
+    def test_len_matches_brute_force_under_churn(self):
+        sched = EventScheduler()
+        live = [sched.schedule_at(i % 7, lambda: None) for i in range(50)]
+        for event in live[::3]:
+            event.cancel()
+        for _ in range(10):
+            sched.pop_next()
+        heap_scan = sum(1 for entry in sched._heap if not entry[2].cancelled)
+        assert len(sched) == heap_scan
+
+    def test_cancel_after_pop_does_not_corrupt_count(self):
+        sched = EventScheduler()
+        event = sched.schedule_at(1, lambda: None)
+        other = sched.schedule_at(2, lambda: None)
+        assert sched.pop_next() is event
+        event.cancel()  # already popped: must be a no-op for the counter
+        assert len(sched) == 1
+        assert sched.pop_next() is other
+
 
 class TestSimulator:
     def test_clock_advances_with_events(self, sim):
@@ -129,6 +166,16 @@ class TestSimulator:
             sim.schedule(i + 1, lambda: None)
         sim.run()
         assert sim.events_executed == 3
+
+    def test_pending_events_counts_through_run(self, sim):
+        sim.schedule(1, lambda: None)
+        sim.schedule(2, lambda: None)
+        kept = sim.schedule(3, lambda: None)
+        assert sim.pending_events() == 3
+        sim.run(until=2)
+        assert sim.pending_events() == 1
+        kept.cancel()
+        assert sim.pending_events() == 0
 
     def test_deterministic_given_seed(self):
         def run_once(seed):
