@@ -5,7 +5,9 @@ Commands:
 * ``figures``  — regenerate the paper's figures as text tables
   (see ``python -m repro figures --help``);
 * ``verdicts`` — the automated claim-by-claim scorecard;
-* ``quickstart`` — the headline comparison, one table.
+* ``quickstart`` — the headline comparison, one table;
+* ``faults``   — fault-injection sweeps: ICT vs fault severity per scheme
+  (see ``python -m repro faults --help``).
 
 Global simulation-execution flags (also accepted by ``figures``):
 
@@ -56,6 +58,10 @@ def main(argv: list[str] | None = None) -> None:
         from repro.experiments.verdicts import main as verdicts_main
 
         verdicts_main(args)
+    elif command == "faults":
+        from repro.experiments.faultsweep import main as faults_main
+
+        faults_main(args)
     elif command == "quickstart":
         parser = argparse.ArgumentParser(
             prog="python -m repro quickstart",
@@ -74,7 +80,7 @@ def main(argv: list[str] | None = None) -> None:
             parser.error(f"--workers must be non-negative, got {opts.workers}")
         _quickstart(opts.workers, opts.no_cache)
     else:
-        print(f"unknown command {command!r}; try: figures, verdicts, quickstart",
+        print(f"unknown command {command!r}; try: figures, verdicts, quickstart, faults",
               file=sys.stderr)
         raise SystemExit(2)
 

@@ -107,6 +107,11 @@ class TransportConfig:
     #: and a delayed-ACK timer bounds the wait, as in TCP).
     ack_every: int = 1
     delack_timeout_ps: int = microseconds(50)
+    #: Give up on a flow after this many back-to-back RTOs with no forward
+    #: progress (the sender reports failure instead of backing off forever).
+    #: ``None`` — the default — keeps the pre-fault-injection behaviour of
+    #: retrying until the simulation horizon.
+    max_consecutive_timeouts: int | None = None
 
     def __post_init__(self) -> None:
         if self.payload_bytes <= 0:
@@ -117,14 +122,39 @@ class TransportConfig:
             raise ConfigError(f"unknown congestion control {self.cc!r}")
         if self.initial_window_bdp <= 0:
             raise ConfigError("initial_window_bdp must be positive")
+        if self.min_cwnd_packets <= 0:
+            raise ConfigError(f"min_cwnd_packets must be positive, got {self.min_cwnd_packets}")
         if not 0 < self.dctcp_gain <= 1:
             raise ConfigError("dctcp_gain must be in (0, 1]")
         if not 0 < self.nack_cut_factor < 1:
             raise ConfigError("nack_cut_factor must be in (0, 1)")
+        if self.rack_window_min_ps <= 0:
+            raise ConfigError("rack_window_min_ps must be positive")
+        if self.rack_window_rtt_fraction <= 0:
+            raise ConfigError("rack_window_rtt_fraction must be positive")
+        if self.min_rto_ps is not None and self.min_rto_ps <= 0:
+            raise ConfigError(f"min_rto_ps must be positive, got {self.min_rto_ps}")
+        if self.rto_floor_rtt_multiple <= 0:
+            raise ConfigError("rto_floor_rtt_multiple must be positive")
+        if self.rto_absolute_floor_ps <= 0:
+            raise ConfigError("rto_absolute_floor_ps must be positive")
+        if self.max_rto_ps <= 0:
+            raise ConfigError(f"max_rto_ps must be positive, got {self.max_rto_ps}")
+        if self.min_rto_ps is not None and self.max_rto_ps < self.min_rto_ps:
+            raise ConfigError(
+                f"max_rto_ps ({self.max_rto_ps}) must be >= min_rto_ps ({self.min_rto_ps})"
+            )
+        if self.ack_bytes <= 0:
+            raise ConfigError(f"ack_bytes must be positive, got {self.ack_bytes}")
         if self.ack_every < 1:
             raise ConfigError("ack_every must be at least 1")
         if self.delack_timeout_ps <= 0:
             raise ConfigError("delack_timeout_ps must be positive")
+        if self.max_consecutive_timeouts is not None and self.max_consecutive_timeouts < 1:
+            raise ConfigError(
+                f"max_consecutive_timeouts must be at least 1 (or None), got "
+                f"{self.max_consecutive_timeouts}"
+            )
 
 
 # ---------------------------------------------------------------------------
@@ -159,6 +189,10 @@ class FabricConfig:
     def __post_init__(self) -> None:
         if min(self.spines, self.leaves, self.servers_per_leaf) < 1:
             raise ConfigError("fabric dimensions must be at least 1")
+        if self.link_rate_bps <= 0:
+            raise ConfigError(f"link_rate_bps must be positive, got {self.link_rate_bps}")
+        if self.link_delay_ps < 0:
+            raise ConfigError(f"link_delay_ps must be non-negative, got {self.link_delay_ps}")
         if self.shared_buffer_alpha is not None and self.shared_buffer_alpha <= 0:
             raise ConfigError("shared_buffer_alpha must be positive")
 
@@ -190,6 +224,14 @@ class InterDcConfig:
     def __post_init__(self) -> None:
         if self.backbone_routers < 1 or self.backbone_per_spine < 1:
             raise ConfigError("backbone dimensions must be at least 1")
+        if self.backbone_rate_bps <= 0:
+            raise ConfigError(
+                f"backbone_rate_bps must be positive, got {self.backbone_rate_bps}"
+            )
+        if self.backbone_delay_ps < 0:
+            raise ConfigError(
+                f"backbone_delay_ps must be non-negative, got {self.backbone_delay_ps}"
+            )
         if self.backbone_per_spine * self.fabric.spines != self.backbone_routers:
             raise ConfigError(
                 "backbone_routers must equal spines * backbone_per_spine "

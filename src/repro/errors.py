@@ -54,3 +54,12 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment sweep was configured inconsistently."""
+
+
+class FaultError(ReproError):
+    """A fault plan is malformed or names a target the run does not have."""
+
+
+class InjectedFaultError(ReproError):
+    """Raised by a ``CrashRun`` fault event: a deliberate in-run crash used
+    to exercise the experiment engine's failure quarantine."""

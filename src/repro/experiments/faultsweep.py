@@ -1,0 +1,293 @@
+"""Fault sweeps: ICT (and failure counts) vs fault severity per scheme.
+
+The paper's evaluation assumes a healthy network; this module asks what
+each scheme pays when the network misbehaves.  Two stock sweeps:
+
+* :func:`blackhole_rate_sweep` — a silent-drop window covers the run
+  while the drop fraction sweeps the x-axis.  Schemes with µs-scale loss
+  feedback (the proxy family) should recover cheaply; the baseline pays a
+  long-haul RTO per loss burst.
+* :func:`proxy_crash_sweep` — the primary proxy crashes mid-incast at a
+  swept time.  The naive proxy loses split-connection state and its flows
+  fail; the streamlined proxy without a backup strands its flows until
+  their senders give up; ``proxy-failover`` detects the crash and
+  migrates onto the backup, completing within detection time plus one
+  recovery round.
+
+Both reuse the generic sweep machinery, so quarantined runs surface as
+per-scheme ``failures`` and the digest stays worker-count independent.
+
+Timing note: with windowed transports the incast traffic crosses the
+proxy in short bursts (first burst within tens of µs; subsequent bursts
+one long-haul RTT apart), so crash times are swept inside the first burst
+and blackhole windows span the whole run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+from dataclasses import replace
+from pathlib import Path
+from typing import Sequence
+
+from repro.config import TransportConfig, small_interdc_config
+from repro.errors import ExperimentError
+from repro.experiments.parallel import ExperimentEngine, ResultCache, RunFailure
+from repro.experiments.runner import IncastResult, IncastScenario
+from repro.experiments.sweeps import SweepPoint, _sweep, sweep_digest
+from repro.faults.plan import CrashRun, FaultPlan, StallRun, blackhole_plan, proxy_crash_plan
+from repro.units import kilobytes, microseconds, milliseconds, seconds
+
+#: The schemes the fault figures compare.  ``trimless`` is omitted: its
+#: fault behavior matches ``streamlined`` (same forwarding, same crash
+#: semantics) and the fault story is about recovery strategies.
+FAULT_SCHEMES = ("baseline", "naive", "streamlined", "proxy-failover")
+
+#: Default drop fractions for the blackhole sweep (0 = healthy control).
+DEFAULT_BLACKHOLE_RATES = (0.0, 0.01, 0.02, 0.05)
+
+#: Default crash times: inside the first transmission burst through the
+#: proxy, where a crash actually intersects traffic.
+DEFAULT_CRASH_TIMES_PS = (microseconds(5), microseconds(10), microseconds(20))
+
+
+def fault_base_scenario(
+    *,
+    degree: int = 4,
+    total_bytes: int = kilobytes(400),
+    horizon_ps: int = seconds(2),
+    max_consecutive_timeouts: int = 8,
+) -> IncastScenario:
+    """The shared scenario under the fault sweeps.
+
+    Small fabric, small incast (runs in well under a second each), and a
+    bounded give-up point so a stranded flow fails in bounded time
+    instead of pinning the run to the horizon.
+    """
+    return IncastScenario(
+        degree=degree,
+        total_bytes=total_bytes,
+        interdc=small_interdc_config(),
+        transport=TransportConfig(max_consecutive_timeouts=max_consecutive_timeouts),
+        horizon_ps=horizon_ps,
+    )
+
+
+def blackhole_rate_sweep(
+    base: IncastScenario | None = None,
+    rates: Sequence[float] = DEFAULT_BLACKHOLE_RATES,
+    schemes: Sequence[str] = FAULT_SCHEMES,
+    reps: int = 3,
+    *,
+    window_ps: int = milliseconds(50),
+    target: str = "backbone",
+    engine: ExperimentEngine | None = None,
+    workers: int | None = 1,
+    cache: ResultCache | None = None,
+) -> list[SweepPoint]:
+    """ICT vs silent-drop fraction on ``target`` for every scheme."""
+    base = base or fault_base_scenario()
+    points = []
+    for rate in rates:
+        plan = (
+            FaultPlan()
+            if rate <= 0
+            else blackhole_plan(
+                at_ps=0, duration_ps=window_ps, drop_fraction=rate, target=target
+            )
+        )
+        points.append(
+            (float(rate), f"drop={rate * 100:g}%", replace(base, faults=plan))
+        )
+    return _sweep(base, points, schemes, reps, engine, workers, cache)
+
+
+def proxy_crash_sweep(
+    base: IncastScenario | None = None,
+    crash_times_ps: Sequence[int] = DEFAULT_CRASH_TIMES_PS,
+    schemes: Sequence[str] = FAULT_SCHEMES,
+    reps: int = 3,
+    *,
+    engine: ExperimentEngine | None = None,
+    workers: int | None = 1,
+    cache: ResultCache | None = None,
+) -> list[SweepPoint]:
+    """ICT vs crash time of the primary proxy for every scheme.
+
+    The crash targets the ``primary`` role, so the baseline (no proxy)
+    records the event as skipped and serves as the unaffected control.
+    """
+    base = base or fault_base_scenario()
+    points = [
+        (
+            t / 1e6,
+            f"crash@{t / 1e6:g}us",
+            replace(base, faults=proxy_crash_plan(at_ps=t)),
+        )
+        for t in crash_times_ps
+    ]
+    return _sweep(base, points, schemes, reps, engine, workers, cache)
+
+
+def fault_plan_sweep(
+    plan: FaultPlan,
+    base: IncastScenario | None = None,
+    schemes: Sequence[str] = FAULT_SCHEMES,
+    reps: int = 3,
+    *,
+    label: str = "plan",
+    engine: ExperimentEngine | None = None,
+    workers: int | None = 1,
+    cache: ResultCache | None = None,
+) -> list[SweepPoint]:
+    """Run one user-supplied fault plan across every scheme (one point)."""
+    if not isinstance(plan, FaultPlan):
+        raise ExperimentError(f"expected a FaultPlan, got {type(plan).__name__}")
+    base = base or fault_base_scenario()
+    points = [(0.0, label, replace(base, faults=plan))]
+    return _sweep(base, points, schemes, reps, engine, workers, cache)
+
+
+# ---------------------------------------------------------------------------
+# CLI: python -m repro faults
+# ---------------------------------------------------------------------------
+
+def _print_points(name: str, points: list[SweepPoint], schemes: Sequence[str],
+                  export_dir: Path | None) -> None:
+    from repro.experiments.report import sweep_table
+
+    print(f"\n=== {name} ===")
+    print(sweep_table(points, schemes))
+    if export_dir is not None:
+        from repro.metrics.export import write_sweep_csv
+
+        stem = name.lower().replace(" ", "_")
+        path = write_sweep_csv(points, export_dir / f"{stem}.csv")
+        print(f"exported {path}")
+
+
+def _smoke(engine: ExperimentEngine, run_timeout: float | None) -> None:
+    """CI smoke: a tiny crash sweep (digest printed) + quarantine demo."""
+    points = proxy_crash_sweep(
+        crash_times_ps=(microseconds(10),), reps=2, engine=engine
+    )
+    _print_points("Fault smoke (proxy crash @10us)", points, FAULT_SCHEMES, None)
+    print(f"sweep_digest: {sweep_digest(points)}")
+
+    # Quarantine demonstration: two healthy runs bracket a deliberately
+    # raising run and a deliberately stalling run; the engine must return
+    # results for the healthy pair and structured failures for the rest.
+    base = fault_base_scenario()
+    batch = [
+        replace(base, scheme="baseline", seed=101),
+        replace(base, scheme="baseline", seed=102, faults=FaultPlan(
+            (CrashRun(at_ps=0, message="smoke: deliberate failure"),)
+        )),
+        replace(base, scheme="streamlined", seed=103),
+    ]
+    timeout = run_timeout or 10.0
+    if hasattr(signal, "SIGALRM"):
+        batch.insert(2, replace(base, scheme="baseline", seed=104, faults=FaultPlan(
+            (StallRun(at_ps=0, wall_seconds=max(60.0, timeout * 10)),)
+        )))
+    quarantine_engine = ExperimentEngine(
+        workers=engine.workers, run_timeout_s=timeout,
+        max_attempts=2, retry_backoff_s=0.01,
+    )
+    detailed = quarantine_engine.run_incasts_detailed(batch)
+    ok = [r for r in detailed if isinstance(r, IncastResult)]
+    failed = [r for r in detailed if isinstance(r, RunFailure)]
+    for entry in detailed:
+        if isinstance(entry, RunFailure):
+            print(f"quarantined: {entry.kind} — {entry.message}")
+    expect_failures = len(batch) - 2
+    if len(ok) != 2 or len(failed) != expect_failures:
+        print(f"SMOKE FAILED: {len(ok)} ok / {len(failed)} quarantined "
+              f"(expected 2 / {expect_failures})")
+        raise SystemExit(1)
+    print(f"quarantine: ok ({len(ok)} results, {len(failed)} structured failures)")
+
+
+def main(argv: Sequence[str] | None = None) -> None:
+    """CLI entry point for the fault sweeps."""
+    from repro.experiments.figures import build_engine
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro faults",
+        description="fault-injection sweeps: ICT vs fault severity per scheme",
+    )
+    parser.add_argument(
+        "--fault-plan", type=Path, default=None, metavar="FILE",
+        help="run a JSON fault plan across every scheme instead of the stock sweeps",
+    )
+    parser.add_argument(
+        "--reps", type=int, default=3, help="repetitions per sweep point")
+    parser.add_argument(
+        "--run-timeout", type=float, default=None, metavar="S",
+        help="per-run wall-clock deadline in seconds (overruns are quarantined)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="simulation processes (0 = one per CPU; default serial)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="always re-simulate; skip the on-disk sweep result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="sweep result cache location",
+    )
+    parser.add_argument(
+        "--export", type=Path, default=None, metavar="DIR",
+        help="also write each sweep's data as CSV into DIR",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny deterministic sweep + engine quarantine check (CI)",
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 0:
+        parser.error(f"--workers must be non-negative, got {args.workers}")
+    if args.reps < 1:
+        parser.error(f"--reps must be at least 1, got {args.reps}")
+    if args.run_timeout is not None and args.run_timeout <= 0:
+        parser.error(f"--run-timeout must be positive, got {args.run_timeout}")
+
+    engine = build_engine(
+        args.workers, args.no_cache, args.cache_dir, run_timeout_s=args.run_timeout
+    )
+
+    if args.smoke:
+        _smoke(engine, args.run_timeout)
+    elif args.fault_plan is not None:
+        try:
+            plan = FaultPlan.from_json(args.fault_plan.read_text())
+        except OSError as exc:
+            parser.error(f"cannot read {args.fault_plan}: {exc}")
+        points = fault_plan_sweep(
+            plan, reps=args.reps, label=args.fault_plan.stem, engine=engine
+        )
+        _print_points(f"Fault plan {args.fault_plan.name}", points,
+                      FAULT_SCHEMES, args.export)
+        print(f"sweep_digest: {sweep_digest(points)}")
+    else:
+        bh = blackhole_rate_sweep(reps=args.reps, engine=engine)
+        _print_points("Blackhole rate sweep", bh, FAULT_SCHEMES, args.export)
+        cr = proxy_crash_sweep(reps=args.reps, engine=engine)
+        _print_points("Proxy crash sweep", cr, FAULT_SCHEMES, args.export)
+        print(f"sweep_digest: {sweep_digest(bh + cr)}")
+
+    stats = engine.stats
+    if stats.tasks:
+        print(
+            f"\n[engine] {stats.tasks} runs, {stats.cache_hits} cached, "
+            f"{stats.cache_misses} simulated, {stats.failures} quarantined, "
+            f"{stats.retries} retries, workers={stats.workers}, "
+            f"wall {stats.wall_seconds:.2f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -163,6 +163,7 @@ def build_engine(
     workers: int | None,
     no_cache: bool,
     cache_dir: Path | None = None,
+    run_timeout_s: float | None = None,
 ) -> ExperimentEngine:
     """The engine the figure drivers share, honoring the CLI cache flags."""
     cache = None if no_cache else ResultCache(cache_dir or DEFAULT_CACHE_DIR)
@@ -170,6 +171,7 @@ def build_engine(
         workers=workers,
         cache=cache,
         on_fallback=lambda reason: print(f"[parallel] {reason}"),
+        run_timeout_s=run_timeout_s,
     )
 
 
@@ -201,11 +203,18 @@ def main(argv: Sequence[str] | None = None) -> None:
         "--cache-dir", type=Path, default=None, metavar="DIR",
         help=f"sweep result cache location (default {DEFAULT_CACHE_DIR})",
     )
+    parser.add_argument(
+        "--run-timeout", type=float, default=None, metavar="S",
+        help="per-run wall-clock deadline in seconds (overruns are quarantined)",
+    )
     args = parser.parse_args(argv)
     if args.workers < 0:
         parser.error(f"--workers must be non-negative, got {args.workers}")
+    if args.run_timeout is not None and args.run_timeout <= 0:
+        parser.error(f"--run-timeout must be positive, got {args.run_timeout}")
     wanted = set(args.only) if args.only else {"fig2l", "fig2r", "fig3", "fig4", "fig5"}
-    engine = build_engine(args.workers, args.no_cache, args.cache_dir)
+    engine = build_engine(args.workers, args.no_cache, args.cache_dir,
+                          run_timeout_s=args.run_timeout)
 
     if "fig2l" in wanted:
         _print_sweep("Figure 2 (Left)",

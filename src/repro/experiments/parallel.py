@@ -19,10 +19,22 @@ do the work N ways, merge deterministically.  This module provides
   with :class:`ExecutionStats` accounting (cache hits, simulated wall
   time vs engine wall time) so the speedup is measurable.
 
+Crash-proofing: a long sweep must survive one bad point.  Every run is
+guarded — :func:`run_parallel_guarded` enforces a per-run wall-clock
+deadline *inside* the worker (``SIGALRM``; a ``ProcessPoolExecutor``
+cannot cancel a running task from outside), retries transient exceptions
+with exponential backoff, and when a worker process dies outright
+(segfault, ``os._exit``) re-runs the surviving items in fresh single-run
+isolation pools so one poison scenario cannot take down its batchmates.
+A run that still fails is **quarantined**: the engine returns a
+structured :class:`RunFailure` in its slot and every other point's result
+survives, instead of one exception discarding an hour of simulation.
+
 Determinism contract: each simulation is a pure function of its scenario
 (seed included), so for a fixed scenario list the engine returns the same
 results — bitwise, minus host-dependent wall-clock fields — for any worker
-count, completion order, or cache state.
+count, completion order, or cache state.  Quarantine preserves this:
+failures are positional, so the merge never shifts.
 """
 
 from __future__ import annotations
@@ -32,6 +44,8 @@ import hashlib
 import json
 import os
 import pickle
+import signal
+import threading
 import time
 from dataclasses import dataclass, is_dataclass
 from pathlib import Path
@@ -44,7 +58,9 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 #: Bump when the result schema changes so stale cache entries never load.
-CACHE_SCHEMA_VERSION = 1
+#: v2: IncastResult gained fault/failure fields; IncastScenario gained
+#: faults/failover.
+CACHE_SCHEMA_VERSION = 2
 
 #: Default on-disk cache location (override with $REPRO_CACHE_DIR).
 DEFAULT_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", "results/.sweep-cache"))
@@ -117,13 +133,24 @@ class ResultCache:
         return self.root / key[:2] / f"{key}.pkl"
 
     def get(self, key: str) -> Any | None:
-        """Load the cached value for ``key``, or None on miss/corruption."""
+        """Load the cached value for ``key``, or None on miss/corruption.
+
+        A corrupted-but-readable entry (truncated pickle, stale class
+        layout) is deleted on the spot: leaving it would turn every future
+        lookup of this key into a doomed read, and ``put`` only runs when
+        a fresh result exists to overwrite it with.
+        """
         path = self.path_for(key)
         try:
             with path.open("rb") as fh:
                 return pickle.load(fh)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
                 ImportError, IndexError):
+            try:
+                if path.exists():
+                    path.unlink()
+            except OSError:  # pragma: no cover - unwritable cache dir
+                pass
             return None
 
     def put(self, key: str, value: Any) -> None:
@@ -218,6 +245,217 @@ def run_parallel(
 
 
 # ---------------------------------------------------------------------------
+# Guarded execution: deadlines, retries, quarantine
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RunFailure:
+    """One quarantined run: the sweep continued; this point is marked failed.
+
+    ``kind`` is ``"exception"`` (the run raised after all retry attempts),
+    ``"timeout"`` (it exceeded the per-run wall-clock deadline), or
+    ``"worker-crash"`` (the worker process died — segfault, OOM-kill,
+    ``os._exit``).  Failures are never cached: a re-run gets a fresh try.
+    """
+
+    scenario: IncastScenario
+    kind: str
+    message: str
+    attempts: int = 1
+    elapsed_seconds: float = 0.0
+
+    def __str__(self) -> str:
+        return (
+            f"RunFailure({self.kind}: {self.message}; "
+            f"attempts={self.attempts}, elapsed={self.elapsed_seconds:.2f}s)"
+        )
+
+
+class _RunTimeout(Exception):
+    """Internal: raised by the SIGALRM handler when a run overruns."""
+
+
+def _call_with_deadline(fn: Callable[[T], R], item: T, timeout_s: float | None) -> R:
+    """Run ``fn(item)``, raising :class:`_RunTimeout` past ``timeout_s``.
+
+    The deadline is enforced *inside* the executing process via
+    ``SIGALRM`` + ``setitimer`` — the only way to interrupt a task a
+    ``ProcessPoolExecutor`` has already started.  Platforms without
+    ``SIGALRM`` (Windows) and non-main threads run without a deadline.
+    """
+    if (
+        not timeout_s
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        return fn(item)
+
+    def _on_alarm(signum, frame):  # noqa: ARG001 - signal handler signature
+        raise _RunTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        return fn(item)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _guarded_call(
+    fn: Callable[[T], R],
+    item: T,
+    timeout_s: float | None,
+    max_attempts: int,
+    backoff_s: float,
+) -> tuple[str, Any, int, float]:
+    """One guarded run: ``("ok", result, ...)`` or a failure tuple.
+
+    Exceptions are retried up to ``max_attempts`` with exponential
+    backoff (transient failures — a full /tmp, a cache race — deserve a
+    second chance).  Timeouts are **not** retried: a run that exhausted
+    its deadline once would almost certainly do it again, doubling the
+    wall-clock cost of an already-slow point.
+    """
+    start = time.perf_counter()
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            result = _call_with_deadline(fn, item, timeout_s)
+            return ("ok", result, attempts, time.perf_counter() - start)
+        except _RunTimeout:
+            return (
+                "timeout",
+                f"exceeded the {timeout_s:g}s per-run wall-clock deadline",
+                attempts,
+                time.perf_counter() - start,
+            )
+        except Exception as exc:  # noqa: BLE001 - quarantine boundary
+            if attempts >= max_attempts:
+                return (
+                    "exception",
+                    f"{type(exc).__name__}: {exc}",
+                    attempts,
+                    time.perf_counter() - start,
+                )
+            time.sleep(backoff_s * (2 ** (attempts - 1)))
+
+
+class _GuardedTask:
+    """Picklable closure shipping the guard parameters to worker processes."""
+
+    def __init__(
+        self,
+        fn: Callable[[T], R],
+        timeout_s: float | None,
+        max_attempts: int,
+        backoff_s: float,
+    ) -> None:
+        self.fn = fn
+        self.timeout_s = timeout_s
+        self.max_attempts = max_attempts
+        self.backoff_s = backoff_s
+
+    def __call__(self, item: T) -> tuple[str, Any, int, float]:
+        return _guarded_call(
+            self.fn, item, self.timeout_s, self.max_attempts, self.backoff_s
+        )
+
+
+def _run_isolated(task: _GuardedTask, item: Any) -> tuple[str, Any, int, float]:
+    """Re-run one item from a broken batch in a fresh single-run pool.
+
+    Never runs the item in-process: it is a suspect in a worker's death,
+    and a hard crash (``os._exit``, segfault) in the caller would discard
+    the whole sweep — exactly what quarantine exists to prevent.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    try:
+        with ProcessPoolExecutor(max_workers=1, mp_context=_pool_context()) as pool:
+            return pool.submit(task, item).result()
+    except BrokenProcessPool:
+        return (
+            "worker-crash",
+            "worker process died while executing this run (hard crash)",
+            1,
+            0.0,
+        )
+    except (OSError, ImportError, PermissionError) as exc:
+        return ("worker-crash", f"isolation pool unavailable: {exc}", 1, 0.0)
+
+
+def run_parallel_guarded(
+    fn: Callable[[T], R],
+    items: Sequence[T],
+    *,
+    workers: int | None = 1,
+    timeout_s: float | None = None,
+    max_attempts: int = 2,
+    backoff_s: float = 0.05,
+    on_fallback: Callable[[str], None] | None = None,
+) -> list[tuple[str, Any, int, float]]:
+    """Guarded fan-out: one ``(status, payload, attempts, elapsed)`` per item.
+
+    Like :func:`run_parallel` (input-order results, serial fallback), but
+    no single item can sink the batch: exceptions and deadline overruns
+    come back as failure tuples, and if a worker process dies the items it
+    took down with it are re-run in fresh isolation pools — so a segfault
+    in item 3 still yields results for items 0–2 and 4–N.
+
+    In the serial fallback (no usable pool) exceptions and timeouts are
+    still guarded, but a hard crash cannot be contained — there is no
+    process boundary to die behind.
+    """
+    items = list(items)
+    workers = resolve_workers(workers)
+    task = _GuardedTask(fn, timeout_s, max_attempts, backoff_s)
+    effective = min(workers, len(items))
+    if effective <= 1:
+        return [task(item) for item in items]
+    if not _all_picklable([fn]) or not _all_picklable(items):
+        if on_fallback is not None:
+            on_fallback("work items are not picklable; running serially")
+        return [task(item) for item in items]
+
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    results: list[tuple[str, Any, int, float] | None] = [None] * len(items)
+    crashed: list[int] = []
+    try:
+        with ProcessPoolExecutor(
+            max_workers=effective, mp_context=_pool_context()
+        ) as pool:
+            futures = []
+            try:
+                for item in items:
+                    futures.append(pool.submit(task, item))
+            except BrokenProcessPool:
+                pass  # unsubmitted items go straight to isolation below
+            for i, future in enumerate(futures):
+                try:
+                    results[i] = future.result()
+                except BrokenProcessPool:
+                    crashed.append(i)
+                except Exception as exc:  # noqa: BLE001 - e.g. unpicklable result
+                    results[i] = (
+                        "exception", f"{type(exc).__name__}: {exc}", 1, 0.0
+                    )
+            crashed.extend(range(len(futures), len(items)))
+    except (OSError, ImportError, PermissionError) as exc:
+        if on_fallback is not None:
+            on_fallback(f"process pool unavailable ({exc}); running serially")
+        return [task(item) for item in items]
+
+    for i in crashed:
+        results[i] = _run_isolated(task, items[i])
+    return [r for r in results if r is not None]
+
+
+# ---------------------------------------------------------------------------
 # The engine
 # ---------------------------------------------------------------------------
 
@@ -229,6 +467,10 @@ class ExecutionStats:
     cache_hits: int = 0
     cache_misses: int = 0
     workers: int = 1
+    #: runs quarantined as RunFailure (never cached; see run_incasts_detailed).
+    failures: int = 0
+    #: extra attempts spent retrying transient exceptions.
+    retries: int = 0
     #: wall-clock the engine spent orchestrating (pool + cache + merge).
     wall_seconds: float = 0.0
     #: summed single-run wall-clock of the simulations actually executed —
@@ -252,10 +494,26 @@ class ExperimentEngine:
         cache: ResultCache | None = None,
         *,
         on_fallback: Callable[[str], None] | None = None,
+        run_timeout_s: float | None = None,
+        max_attempts: int = 2,
+        retry_backoff_s: float = 0.05,
     ) -> None:
+        if run_timeout_s is not None and run_timeout_s <= 0:
+            raise ExperimentError(
+                f"run_timeout_s must be positive, got {run_timeout_s}"
+            )
+        if max_attempts < 1:
+            raise ExperimentError(f"max_attempts must be >= 1, got {max_attempts}")
+        if retry_backoff_s < 0:
+            raise ExperimentError(
+                f"retry_backoff_s must be non-negative, got {retry_backoff_s}"
+            )
         self.workers = resolve_workers(workers)
         self.cache = cache
         self.on_fallback = on_fallback
+        self.run_timeout_s = run_timeout_s
+        self.max_attempts = max_attempts
+        self.retry_backoff_s = retry_backoff_s
         self.stats = ExecutionStats(workers=self.workers)
 
     # -- generic fan-out -----------------------------------------------------
@@ -273,10 +531,34 @@ class ExperimentEngine:
     # -- incast runs ---------------------------------------------------------
 
     def run_incasts(self, scenarios: Sequence[IncastScenario]) -> list[IncastResult]:
-        """Run every scenario (cache-aware), results in input order."""
+        """Run every scenario (cache-aware), results in input order.
+
+        Raises :class:`ExperimentError` if any run fails — callers that
+        want partial results use :meth:`run_incasts_detailed` instead.
+        """
+        results = self.run_incasts_detailed(scenarios)
+        for entry in results:
+            if isinstance(entry, RunFailure):
+                raise ExperimentError(
+                    f"run failed ({entry.kind}) for scheme="
+                    f"{entry.scenario.scheme!r} seed={entry.scenario.seed}: "
+                    f"{entry.message}"
+                )
+        return results  # type: ignore[return-value]  # all IncastResult here
+
+    def run_incasts_detailed(
+        self, scenarios: Sequence[IncastScenario]
+    ) -> list[IncastResult | RunFailure]:
+        """Run every scenario; failed runs come back as :class:`RunFailure`.
+
+        Results are **positional**: slot ``i`` always describes
+        ``scenarios[i]``, whether it succeeded, was served from cache, or
+        was quarantined.  Failures are never written to the cache, so a
+        re-run retries them from scratch.
+        """
         start = time.perf_counter()
         scenarios = list(scenarios)
-        results: list[IncastResult | None] = [None] * len(scenarios)
+        results: list[IncastResult | RunFailure | None] = [None] * len(scenarios)
         misses: list[tuple[int, IncastScenario]] = []
 
         for i, scenario in enumerate(scenarios):
@@ -289,17 +571,33 @@ class ExperimentEngine:
                 misses.append((i, scenario))
 
         if misses:
-            fresh = run_parallel(
+            fresh = run_parallel_guarded(
                 run_incast,
                 [scenario for _, scenario in misses],
                 workers=self.workers,
+                timeout_s=self.run_timeout_s,
+                max_attempts=self.max_attempts,
+                backoff_s=self.retry_backoff_s,
                 on_fallback=self.on_fallback,
             )
-            for (i, scenario), result in zip(misses, fresh):
-                results[i] = result
+            for (i, scenario), (status, payload, attempts, elapsed) in zip(
+                misses, fresh
+            ):
                 self.stats.cache_misses += 1
-                self.stats.sim_wall_seconds += result.wall_seconds
-                self._store(scenario, result)
+                self.stats.retries += attempts - 1
+                if status == "ok":
+                    results[i] = payload
+                    self.stats.sim_wall_seconds += payload.wall_seconds
+                    self._store(scenario, payload)
+                else:
+                    results[i] = RunFailure(
+                        scenario=scenario,
+                        kind=status,
+                        message=str(payload),
+                        attempts=attempts,
+                        elapsed_seconds=elapsed,
+                    )
+                    self.stats.failures += 1
 
         self.stats.tasks += len(scenarios)
         self.stats.wall_seconds += time.perf_counter() - start

@@ -33,12 +33,21 @@ def sweep_table(points: list[SweepPoint], schemes: Sequence[str]) -> str:
         row = [point.label]
         for scheme in schemes:
             summary = point.schemes[scheme]
-            row.append(
-                f"{format_duration(round(summary.ict.mean))} "
-                f"[{format_duration(round(summary.ict.minimum))}, "
-                f"{format_duration(round(summary.ict.maximum))}]"
-                + ("" if summary.all_completed else " (INCOMPLETE)")
-            )
+            if summary.ict.count == 0:
+                # every repetition was quarantined; round(nan) would raise
+                row.append(f"FAILED ({summary.failures} runs)")
+            else:
+                suffix = ""
+                if summary.failures:
+                    suffix = f" ({summary.failures} FAILED)"
+                elif not summary.all_completed:
+                    suffix = " (INCOMPLETE)"
+                row.append(
+                    f"{format_duration(round(summary.ict.mean))} "
+                    f"[{format_duration(round(summary.ict.minimum))}, "
+                    f"{format_duration(round(summary.ict.maximum))}]"
+                    + suffix
+                )
             if scheme != "baseline":
                 red = summary.reduction_vs_baseline
                 # negative sign = faster than baseline; positive = slower

@@ -11,10 +11,20 @@ single receiver in datacenter 1.  Scheme selection:
                     switch trimming enabled network-wide
                     (:class:`~repro.proxy.streamlined.StreamlinedProxy`);
 * ``trimless``    — streamlined forwarding w/o trimming, detector-driven
-                    NACKs (§5 FW#1).
+                    NACKs (§5 FW#1);
+* ``proxy-failover`` — streamlined with a hot-standby backup proxy and a
+                    heartbeat failure detector that migrates connections
+                    when the primary crashes (:mod:`repro.faults.failover`).
 
 Incast completion time (ICT) is measured at the *real* receiver: the time
 until the last byte of the last flow has arrived.
+
+A scenario may carry a :class:`~repro.faults.plan.FaultPlan`; its events
+(link flaps, proxy crashes, blackhole/corruption windows) are compiled onto
+the scheduler before the run starts.  Flows whose sender gives up (see
+``TransportConfig.max_consecutive_timeouts``) are counted in
+``IncastResult.failed_flows`` and the run ends as soon as every flow has
+either completed or failed.
 """
 
 from __future__ import annotations
@@ -26,6 +36,9 @@ from typing import Callable
 from repro.config import InterDcConfig, TransportConfig, paper_interdc_config
 from repro.detection.lossdetector import DetectorConfig
 from repro.errors import ExperimentError
+from repro.faults.failover import FailoverConfig, FailoverManager
+from repro.faults.injector import FaultContext, arm_faults
+from repro.faults.plan import FaultPlan
 from repro.metrics.collector import NetworkCounters, collect_network_counters
 from repro.proxy.naive import NaiveProxy
 from repro.proxy.placement import pick_proxy_host, pick_senders
@@ -36,7 +49,10 @@ from repro.topology.interdc import build_interdc
 from repro.transport.connection import Connection
 from repro.units import megabytes, seconds
 
-SCHEMES = ("baseline", "naive", "streamlined", "trimless")
+SCHEMES = ("baseline", "naive", "streamlined", "trimless", "proxy-failover")
+
+#: Schemes whose forwarding uses switch trimming (the streamlined family).
+_TRIMMING_SCHEMES = ("streamlined", "proxy-failover")
 
 
 @dataclass(frozen=True)
@@ -56,6 +72,10 @@ class IncastScenario:
     #: long-lived cross-traffic flows sharing the fabric (0 = quiet fabric).
     background_flows: int = 0
     background_bytes: int = megabytes(500)
+    #: timed fault events injected into this run (empty plan = fault-free).
+    faults: FaultPlan = field(default_factory=FaultPlan)
+    #: failure-detection parameters (only read by the proxy-failover scheme).
+    failover: FailoverConfig = field(default_factory=FailoverConfig)
 
     def __post_init__(self) -> None:
         if self.scheme not in SCHEMES:
@@ -68,6 +88,16 @@ class IncastScenario:
             raise ExperimentError("total_bytes must provide at least 1 byte per sender")
         if self.background_flows < 0 or self.background_bytes < 1:
             raise ExperimentError("background traffic parameters must be non-negative")
+        if self.horizon_ps <= 0:
+            raise ExperimentError("horizon_ps must be positive")
+        if not isinstance(self.faults, FaultPlan):
+            raise ExperimentError(
+                f"faults must be a FaultPlan, got {type(self.faults).__name__}"
+            )
+        if not isinstance(self.failover, FailoverConfig):
+            raise ExperimentError(
+                f"failover must be a FailoverConfig, got {type(self.failover).__name__}"
+            )
 
     def flow_sizes(self) -> list[int]:
         """Split the incast equally; earlier flows absorb the remainder."""
@@ -98,6 +128,15 @@ class IncastResult:
     #: cache instead of simulating (wall_seconds then reports the original
     #: simulation's cost, not the lookup's).
     from_cache: bool = False
+    #: flows whose sender gave up (max_consecutive_timeouts) or was killed
+    #: by a proxy crash; completed is False whenever this is non-zero.
+    failed_flows: int = 0
+    #: fault-plan events that found their target in this run vs. events
+    #: naming a role the run does not have (e.g. "proxy" under baseline).
+    fault_events_applied: int = 0
+    fault_events_skipped: int = 0
+    #: primary->backup migrations performed (proxy-failover scheme only).
+    failovers: int = 0
 
     @property
     def ict_ms(self) -> float:
@@ -134,7 +173,7 @@ def run_incast(scenario: IncastScenario) -> IncastResult:
     """Execute ``scenario`` and return its measurements."""
     wall_start = time.perf_counter()
     sim = Simulator(seed=scenario.seed)
-    trimming = scenario.scheme == "streamlined"
+    trimming = scenario.scheme in _TRIMMING_SCHEMES
     topo = build_interdc(
         sim, scenario.interdc.with_trimming(trimming), routing=scenario.routing
     )
@@ -144,65 +183,126 @@ def run_incast(scenario: IncastScenario) -> IncastResult:
     senders = pick_senders(topo.fabrics[0], scenario.degree)
     sizes = scenario.flow_sizes()
 
+    # Per-flow outcome: a flow ends either "done" (all bytes at the real
+    # receiver) or "failed" (its sender gave up / was killed by a fault).
+    # The run stops as soon as nothing is pending, so a crashed flow does
+    # not pin the simulation to the horizon.
     completions: list[int] = []
-    remaining = [scenario.degree]
+    outcome = ["pending"] * scenario.degree
 
-    def on_done(_receiver) -> None:
-        completions.append(sim.now)
-        remaining[0] -= 1
-        if remaining[0] == 0:
+    def _mark(i: int, status: str) -> None:
+        if outcome[i] != "pending":
+            return
+        outcome[i] = status
+        if status == "done":
+            completions.append(sim.now)
+        if all(state != "pending" for state in outcome):
             sim.stop()
 
+    def make_on_done(i: int):
+        return lambda _receiver: _mark(i, "done")
+
+    def make_on_fail(i: int):
+        return lambda _sender: _mark(i, "failed")
+
     senders_list = []  # WindowedSender endpoints, for stats
-    proxy_nacks = [0]
+    proxies: dict[str, object] = {}
+    proxy_hosts: dict[str, "object"] = {}
+    nack_proxies = []  # proxies whose stats.nacks_sent the result reports
+    manager: FailoverManager | None = None
 
     if scenario.scheme == "baseline":
         for i, (host, size) in enumerate(zip(senders, sizes)):
             conn = Connection(
                 net, host, receiver, size, scenario.transport,
-                on_receiver_complete=on_done, label=f"base{i}",
+                on_receiver_complete=make_on_done(i),
+                on_sender_fail=make_on_fail(i),
+                label=f"base{i}",
             )
             senders_list.append(conn.sender)
             conn.start()
     elif scenario.scheme == "naive":
         proxy_host = pick_proxy_host(topo.fabrics[0], senders)
         proxy = NaiveProxy(net, proxy_host, scenario.transport)
+        proxies["primary"] = proxy
+        proxy_hosts["primary"] = proxy_host
         for i, (host, size) in enumerate(zip(senders, sizes)):
             flow = proxy.relay(
-                host, receiver, size, on_receiver_complete=on_done, label=f"naive{i}"
+                host, receiver, size,
+                on_receiver_complete=make_on_done(i),
+                label=f"naive{i}",
             )
+            # Either leg giving up kills the relayed flow: a dead inner leg
+            # starves the outer one forever, so both report the same index.
+            flow.inner.sender.on_fail = make_on_fail(i)
+            flow.outer.sender.on_fail = make_on_fail(i)
             senders_list.append(flow.inner.sender)
             senders_list.append(flow.outer.sender)
             flow.start()
-    else:  # streamlined / trimless
+    else:  # streamlined family: streamlined / trimless / proxy-failover
         proxy_host = pick_proxy_host(topo.fabrics[0], senders)
-        if scenario.scheme == "streamlined":
+        if scenario.scheme == "trimless":
+            proxy = TrimlessStreamlinedProxy(sim, proxy_host, scenario.detector)
+        else:
             proxy = StreamlinedProxy(
                 sim, proxy_host, processing_delay=scenario.proxy_delay_sampler
             )
-        else:
-            proxy = TrimlessStreamlinedProxy(sim, proxy_host, scenario.detector)
+        proxies["primary"] = proxy
+        proxy_hosts["primary"] = proxy_host
+        nack_proxies.append(proxy)
+        backup = None
+        if scenario.scheme == "proxy-failover":
+            backup_host = pick_proxy_host(topo.fabrics[0], [*senders, proxy_host])
+            backup = StreamlinedProxy(
+                sim, backup_host,
+                processing_delay=scenario.proxy_delay_sampler,
+                label=f"sproxy-backup:{backup_host.name}",
+            )
+            proxies["backup"] = backup
+            proxy_hosts["backup"] = backup_host
+            nack_proxies.append(backup)
+        conns = []
         for i, (host, size) in enumerate(zip(senders, sizes)):
             conn = Connection(
                 net, host, receiver, size, scenario.transport,
                 via=(proxy_host,),
-                on_receiver_complete=on_done,
+                on_receiver_complete=make_on_done(i),
+                on_sender_fail=make_on_fail(i),
                 label=f"{scenario.scheme}{i}",
             )
             proxy.attach(conn)
+            if backup is not None:
+                backup.attach(conn)  # inert until reroute_via points here
             senders_list.append(conn.sender)
+            conns.append(conn)
             conn.start()
-        proxy_nacks[0] = 0  # read back from proxy.stats after the run
-        proxy_ref = proxy
+        if backup is not None:
+            manager = FailoverManager(
+                sim, proxy, backup, conns, cfg=scenario.failover
+            ).start()
 
     if scenario.background_flows:
         _start_background(sim, topo, scenario, busy_hosts={
             receiver.id, *(h.id for h in senders),
-            *([proxy_host.id] if scenario.scheme != "baseline" else []),
+            *(h.id for h in proxy_hosts.values()),
         })
 
+    injector = arm_faults(
+        sim,
+        scenario.faults,
+        FaultContext(
+            net,
+            sender_hosts=senders,
+            receiver_host=receiver,
+            proxies=proxies,
+            proxy_hosts=proxy_hosts,
+            backbone=topo.backbone,
+        ),
+    )
+
     sim.run(until=scenario.horizon_ps)
-    completed = remaining[0] == 0
+    completed = all(state == "done" for state in outcome)
+    failed_flows = sum(1 for state in outcome if state == "failed")
     ict = max(completions) if completions and completed else scenario.horizon_ps
 
     counters = collect_network_counters(net)
@@ -218,10 +318,10 @@ def run_incast(scenario: IncastScenario) -> IncastResult:
         timeouts=sum(s.stats.timeouts for s in senders_list),
         nacks_received=sum(s.stats.nacks_received for s in senders_list),
         marked_acks=sum(s.stats.marked_acks for s in senders_list),
-        proxy_nacks_sent=(
-            proxy_ref.stats.nacks_sent
-            if scenario.scheme in ("streamlined", "trimless")
-            else 0
-        ),
+        proxy_nacks_sent=sum(p.stats.nacks_sent for p in nack_proxies),
+        failed_flows=failed_flows,
+        fault_events_applied=injector.applied if injector is not None else 0,
+        fault_events_skipped=injector.skipped if injector is not None else 0,
+        failovers=manager.failovers if manager is not None else 0,
     )
     return result

@@ -18,14 +18,20 @@ from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from repro.errors import ExperimentError
-from repro.experiments.parallel import ExperimentEngine, ResultCache
+from repro.experiments.parallel import ExperimentEngine, ResultCache, RunFailure
 from repro.experiments.runner import IncastResult, IncastScenario
-from repro.metrics.summary import SummaryStat, summarize
+from repro.metrics.summary import SummaryStat, empty_summary, summarize
 
 
 @dataclass
 class SchemeSummary:
-    """One scheme's ICT summary at one sweep point."""
+    """One scheme's ICT summary at one sweep point.
+
+    ``failures`` counts repetitions the engine quarantined (exception,
+    deadline overrun, worker crash); the remaining stats summarize only
+    the successful repetitions, and ``ict`` is the all-NaN
+    :func:`~repro.metrics.summary.empty_summary` when none succeeded.
+    """
 
     scheme: str
     ict: SummaryStat
@@ -35,6 +41,7 @@ class SchemeSummary:
     trims: float
     drops: float
     all_completed: bool
+    failures: int = 0
 
     @property
     def ict_ms(self) -> float:
@@ -65,18 +72,39 @@ def _resolve_engine(
     return ExperimentEngine(workers=workers, cache=cache)
 
 
-def _summarize_scheme(scheme: str, results: Sequence[IncastResult]) -> SchemeSummary:
-    """Fold one scheme's repetitions into the stats the figures plot."""
-    reps = len(results)
+def _summarize_scheme(
+    scheme: str, entries: Sequence[IncastResult | RunFailure]
+) -> SchemeSummary:
+    """Fold one scheme's repetitions into the stats the figures plot.
+
+    Quarantined repetitions (:class:`RunFailure`) are counted, excluded
+    from the averages, and force ``all_completed`` False.
+    """
+    ok = [r for r in entries if isinstance(r, IncastResult)]
+    failures = len(entries) - len(ok)
+    if not ok:
+        return SchemeSummary(
+            scheme=scheme,
+            ict=empty_summary(),
+            reduction_vs_baseline=None,
+            retransmissions=0.0,
+            timeouts=0.0,
+            trims=0.0,
+            drops=0.0,
+            all_completed=False,
+            failures=failures,
+        )
+    reps = len(ok)
     return SchemeSummary(
         scheme=scheme,
-        ict=summarize([r.ict_ps for r in results]),
+        ict=summarize([r.ict_ps for r in ok]),
         reduction_vs_baseline=None,
-        retransmissions=sum(r.retransmissions for r in results) / reps,
-        timeouts=sum(r.timeouts for r in results) / reps,
-        trims=sum(r.counters.packets_trimmed for r in results) / reps,
-        drops=sum(r.counters.packets_dropped for r in results) / reps,
-        all_completed=all(r.completed for r in results),
+        retransmissions=sum(r.retransmissions for r in ok) / reps,
+        timeouts=sum(r.timeouts for r in ok) / reps,
+        trims=sum(r.counters.packets_trimmed for r in ok) / reps,
+        drops=sum(r.counters.packets_dropped for r in ok) / reps,
+        all_completed=failures == 0 and all(r.completed for r in ok),
+        failures=failures,
     )
 
 
@@ -121,7 +149,9 @@ def _sweep(
         for scheme in schemes
         for rep in range(reps)
     ]
-    results = engine.run_incasts(grid)
+    # Detailed results keep failures positional, so the cursor arithmetic
+    # below still slices the grid correctly when some runs were quarantined.
+    results = engine.run_incasts_detailed(grid)
 
     sweep: list[SweepPoint] = []
     cursor = 0
@@ -135,7 +165,7 @@ def _sweep(
         baseline = summaries.get("baseline")
         if baseline is not None:
             for scheme, summary in summaries.items():
-                if scheme != "baseline":
+                if scheme != "baseline" and summary.ict.count and baseline.ict.count:
                     summary.reduction_vs_baseline = summary.ict.reduction_vs(baseline.ict)
         sweep.append(SweepPoint(x=x, label=label, schemes=summaries))
     return sweep
@@ -157,7 +187,7 @@ def sweep_digest(points: Sequence[SweepPoint]) -> str:
                 f"{scheme}|{s.ict.mean!r}|{s.ict.minimum!r}|{s.ict.maximum!r}"
                 f"|{s.ict.stdev!r}|{s.ict.count}|{s.reduction_vs_baseline!r}"
                 f"|{s.retransmissions!r}|{s.timeouts!r}|{s.trims!r}"
-                f"|{s.drops!r}|{s.all_completed}"
+                f"|{s.drops!r}|{s.all_completed}|{s.failures}"
             )
     return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 

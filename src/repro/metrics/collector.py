@@ -20,6 +20,9 @@ class NetworkCounters:
 
     packets_dropped: int = 0
     packets_lost_to_failures: int = 0
+    packets_blackholed: int = 0
+    packets_corrupted: int = 0
+    corrupt_drops: int = 0
     packets_trimmed: int = 0
     packets_marked: int = 0
     bytes_dropped: int = 0
@@ -42,6 +45,8 @@ def collect_network_counters(net: "Network", top_ports: int = 16) -> NetworkCoun
             stats = port.queue.stats
             counters.packets_dropped += stats.dropped
             counters.packets_lost_to_failures += port.dropped_while_down
+            counters.packets_blackholed += port.blackholed_packets
+            counters.packets_corrupted += port.corrupted_packets
             counters.packets_trimmed += stats.trimmed
             counters.packets_marked += stats.marked
             counters.bytes_dropped += stats.dropped_bytes
@@ -51,6 +56,8 @@ def collect_network_counters(net: "Network", top_ports: int = 16) -> NetworkCoun
                 counters.max_queue_bytes = stats.max_occupied_bytes
             if stats.max_occupied_bytes > 0:
                 counters.per_port_max[port.name] = stats.max_occupied_bytes
+    for host in net.hosts:
+        counters.corrupt_drops += host.corrupt_dropped
     if len(counters.per_port_max) > top_ports:
         counters.per_port_max = dict(
             sorted(counters.per_port_max.items(), key=lambda kv: -kv[1])[:top_ports]

@@ -34,7 +34,7 @@ def write_sweep_csv(points: "Sequence[SweepPoint]", path: str | Path) -> Path:
         writer.writerow([
             "x", "label", "scheme", "ict_mean_ms", "ict_min_ms", "ict_max_ms",
             "ict_stdev_ms", "reduction_vs_baseline", "retransmissions",
-            "timeouts", "trims", "drops", "all_completed",
+            "timeouts", "trims", "drops", "all_completed", "failures",
         ])
         for point in points:
             for scheme, summary in point.schemes.items():
@@ -53,6 +53,7 @@ def write_sweep_csv(points: "Sequence[SweepPoint]", path: str | Path) -> Path:
                     summary.trims,
                     summary.drops,
                     summary.all_completed,
+                    summary.failures,
                 ])
     return path
 
@@ -100,6 +101,7 @@ def write_sweep_json(points: "Sequence[SweepPoint]", path: str | Path) -> Path:
                     "ict_max_ms": summary.ict.maximum / 1e9,
                     "reduction_vs_baseline": summary.reduction_vs_baseline,
                     "all_completed": summary.all_completed,
+                    "failures": summary.failures,
                 }
                 for scheme, summary in point.schemes.items()
             },

@@ -46,6 +46,17 @@ def jain_fairness(values: Iterable[float]) -> float:
     return total * total / (len(data) * squares)
 
 
+def empty_summary() -> SummaryStat:
+    """The all-NaN summary of zero samples (count 0).
+
+    Used by the sweeps when every repetition of a point was quarantined:
+    the point renders as failed instead of crashing the report, and NaN
+    poisons any arithmetic that forgets to check ``count``.
+    """
+    nan = float("nan")
+    return SummaryStat(mean=nan, minimum=nan, maximum=nan, stdev=nan, count=0)
+
+
 def summarize(values: Iterable[float]) -> SummaryStat:
     """Summarize a non-empty collection of values."""
     data = list(values)

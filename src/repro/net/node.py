@@ -71,6 +71,7 @@ class Host(Node):
         self.nic: OutputPort | None = None
         self.handlers: dict[int, PacketHandler] = {}
         self.stray_packets = 0
+        self.corrupt_dropped = 0
 
     def attach_port(self, neighbor_id: int, port: OutputPort) -> None:
         if self.nic is not None:
@@ -98,6 +99,14 @@ class Host(Node):
 
     def receive(self, packet: Packet) -> None:
         """Deliver to the flow's handler; count strays for diagnostics."""
+        if packet.corrupted:
+            # The NIC checksum catches a corrupted packet: it consumed
+            # bandwidth and buffer space all the way here, but the stack
+            # never sees it — strictly worse than a clean in-network drop.
+            self.corrupt_dropped += 1
+            if self.sim.tracer.enabled:
+                self.sim.trace(self.name, "corrupt-drop", flow=packet.flow_id, seq=packet.seq)
+            return
         handler = self.handlers.get(packet.flow_id)
         if handler is None:
             self.stray_packets += 1

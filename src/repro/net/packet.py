@@ -44,6 +44,7 @@ class Packet:
         "size_bytes",
         "payload_bytes",
         "trimmed",
+        "corrupted",
         "ecn_ce",
         "ecn_echo",
         "ack_seq",
@@ -81,6 +82,7 @@ class Packet:
         self.payload_bytes = payload_bytes
         self.size_bytes = payload_bytes + header_bytes
         self.trimmed = False
+        self.corrupted = False
         self.ecn_ce = False
         self.ecn_echo = False
         self.ack_seq = ack_seq

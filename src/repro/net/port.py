@@ -37,6 +37,11 @@ class OutputPort:
         "tx_packets",
         "tx_bytes",
         "dropped_while_down",
+        "blackhole_fraction",
+        "corrupt_fraction",
+        "fault_rng",
+        "blackholed_packets",
+        "corrupted_packets",
         "_ps_per_byte",
     )
 
@@ -60,6 +65,14 @@ class OutputPort:
         self.tx_packets = 0
         self.tx_bytes = 0
         self.dropped_while_down = 0
+        # Fault-injection state (repro.faults): a blackhole window silently
+        # drops a fraction of offered packets, a corruption window flips bits
+        # (the packet still burns bandwidth; the destination host drops it).
+        self.blackhole_fraction = 0.0
+        self.corrupt_fraction = 0.0
+        self.fault_rng = None
+        self.blackholed_packets = 0
+        self.corrupted_packets = 0
         # Pre-computed serialization cost; exact (80 ps/B) at 100 Gb/s.
         self._ps_per_byte = 8 * PS_PER_S / rate_bps
 
@@ -70,6 +83,16 @@ class OutputPort:
             if self.sim.tracer.enabled:
                 self.sim.trace(self.name, "drop-down", flow=packet.flow_id, seq=packet.seq)
             return EnqueueOutcome.DROPPED
+        if self.blackhole_fraction > 0 and self._fault_hits(self.blackhole_fraction):
+            self.blackholed_packets += 1
+            if self.sim.tracer.enabled:
+                self.sim.trace(self.name, "blackhole", flow=packet.flow_id, seq=packet.seq)
+            return EnqueueOutcome.DROPPED
+        if self.corrupt_fraction > 0 and self._fault_hits(self.corrupt_fraction):
+            packet.corrupted = True
+            self.corrupted_packets += 1
+            if self.sim.tracer.enabled:
+                self.sim.trace(self.name, "corrupt", flow=packet.flow_id, seq=packet.seq)
         outcome = self.queue.offer(packet)
         if outcome is EnqueueOutcome.DROPPED:
             if self.sim.tracer.enabled:
@@ -103,6 +126,19 @@ class OutputPort:
             self.busy = False
         else:
             self._start_service()
+
+    def _fault_hits(self, fraction: float) -> bool:
+        """Bernoulli trial on the port's dedicated fault substream.
+
+        Deterministic fractions (>= 1) never touch the RNG, so a 100%
+        blackhole leaves every other stream's draw sequence untouched.
+        """
+        if fraction >= 1.0:
+            return True
+        rng = self.fault_rng
+        if rng is None:
+            rng = self.fault_rng = self.sim.rng.stream(f"fault:{self.name}")
+        return rng.random() < fraction
 
     def set_up(self, up: bool) -> None:
         """Bring the port up or down (failure injection).

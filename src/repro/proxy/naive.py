@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.config import TransportConfig
+from repro.errors import ProxyError
 from repro.transport.connection import Connection
 from repro.transport.receiver import AckingReceiver
 
@@ -64,6 +65,41 @@ class NaiveProxy:
         self.host = host
         self.cfg = cfg
         self.flows: list[NaiveRelayedFlow] = []
+        self.crashed = False
+        self.crashes = 0
+
+    # -- failure injection ------------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill the proxy process.
+
+        Both legs of every in-flight relay terminate *in this process*: the
+        inner receiver's reassembly buffer and the outer sender's
+        retransmission state are process memory, so a crash loses them for
+        good.  The outer sender reports failure immediately (its half of
+        the byte stream can never be completed); the inner sender is left
+        retransmitting into the void until its own RTO machinery gives up.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crashes += 1
+        for flow in self.flows:
+            if flow.completed:
+                continue
+            self.host.unregister_handler(flow.inner.flow_id)  # inner receiver
+            self.host.unregister_handler(flow.outer.flow_id)  # outer sender's ACKs
+            flow.inner.receiver.close()
+            flow.outer.sender.fail("proxy crash")
+
+    def restart(self) -> None:
+        """Restart the proxy process.
+
+        Unlike the Streamlined proxy, restarting does not resurrect flows:
+        split-connection state cannot be rebuilt, so existing relays stay
+        dead and only flows created *after* the restart work.
+        """
+        self.crashed = False
 
     def relay(
         self,
@@ -75,6 +111,8 @@ class NaiveProxy:
         label: str = "",
     ) -> NaiveRelayedFlow:
         """Wire one relayed flow ``src -> proxy -> dst``."""
+        if self.crashed:
+            raise ProxyError(f"proxy on {self.host.name} is crashed; restart() first")
         outer = Connection(
             self.net,
             self.host,

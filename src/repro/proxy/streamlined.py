@@ -68,6 +68,8 @@ class StreamlinedProxy:
         self.label = label or f"sproxy:{host.name}"
         self.stats = ProxyStats()
         self.flows: set[int] = set()
+        self.crashed = False
+        self.crashes = 0
 
     # -- wiring ------------------------------------------------------------------
 
@@ -82,8 +84,35 @@ class StreamlinedProxy:
 
     def detach_flow(self, flow_id: int) -> None:
         """Stop relaying ``flow_id``."""
-        self.host.unregister_handler(flow_id)
+        if not self.crashed:
+            self.host.unregister_handler(flow_id)
         self.flows.discard(flow_id)
+
+    # -- failure injection --------------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill the proxy process: packets in flight toward it go stray.
+
+        The Streamlined proxy holds *no* per-flow state — forwarding is a
+        pure function of the packet — so a later :meth:`restart` resumes
+        relaying every attached flow.
+        """
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crashes += 1
+        for flow_id in self.flows:
+            self.host.unregister_handler(flow_id)
+        self.sim.trace(self.label, "crash", flows=len(self.flows))
+
+    def restart(self) -> None:
+        """Restart after a crash; stateless forwarding resumes immediately."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        for flow_id in self.flows:
+            self.host.register_handler(flow_id, self._handle)
+        self.sim.trace(self.label, "restart", flows=len(self.flows))
 
     # -- data plane -----------------------------------------------------------------
 
@@ -95,6 +124,8 @@ class StreamlinedProxy:
             self._process(packet)
 
     def _process(self, packet: Packet) -> None:
+        if self.crashed:
+            return  # packet was in the processing pipeline when we died
         self.stats.packets_processed += 1
         if packet.kind == PacketType.DATA:
             if packet.trimmed:

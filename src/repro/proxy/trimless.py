@@ -42,6 +42,9 @@ class TrimlessStreamlinedProxy:
         self.label = label or f"tproxy:{host.name}"
         self.stats = ProxyStats()
         self.detector = GapLossDetector(detector_cfg)
+        self.crashed = False
+        self.crashes = 0
+        self.flows: set[int] = set()
         self._senders: dict[int, int] = {}  # flow -> sender host id
         self._trackers: dict[int, FlowTracker] = {}
         self._flush_armed = False
@@ -55,20 +58,55 @@ class TrimlessStreamlinedProxy:
     def attach_flow(self, flow_id: int) -> None:
         """Relay packets of ``flow_id``."""
         self.host.register_handler(flow_id, self._handle)
+        self.flows.add(flow_id)
         self._trackers[flow_id] = self.detector.tracker(
             flow_id, partial(self._on_inferred_loss, flow_id)
         )
 
     def detach_flow(self, flow_id: int) -> None:
         """Stop relaying ``flow_id`` and free its detector state."""
-        self.host.unregister_handler(flow_id)
+        if not self.crashed:
+            self.host.unregister_handler(flow_id)
+        self.flows.discard(flow_id)
         self._trackers.pop(flow_id, None)
         self._senders.pop(flow_id, None)
         self.detector.remove(flow_id)
 
+    # -- failure injection ----------------------------------------------------------
+
+    def crash(self) -> None:
+        """Kill the proxy process: detector state (trackers, learned sender
+        ids) is process memory and is lost for good."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.crashes += 1
+        for flow_id in self.flows:
+            self.host.unregister_handler(flow_id)
+            self.detector.remove(flow_id)
+        self._trackers.clear()
+        self._senders.clear()
+        self.sim.trace(self.label, "crash", flows=len(self.flows))
+
+    def restart(self) -> None:
+        """Restart after a crash: forwarding resumes, but each flow gets a
+        *fresh* tracker — gaps that straddled the outage go undetected until
+        the sender's own RTO machinery recovers them."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        for flow_id in self.flows:
+            self.host.register_handler(flow_id, self._handle)
+            self._trackers[flow_id] = self.detector.tracker(
+                flow_id, partial(self._on_inferred_loss, flow_id)
+            )
+        self.sim.trace(self.label, "restart", flows=len(self.flows))
+
     # -- data plane ------------------------------------------------------------------
 
     def _handle(self, packet: Packet) -> None:
+        if self.crashed:
+            return
         self.stats.packets_processed += 1
         if packet.kind == PacketType.DATA:
             self._senders.setdefault(packet.flow_id, packet.src)
@@ -110,6 +148,8 @@ class TrimlessStreamlinedProxy:
 
     def _flush(self) -> None:
         self._flush_armed = False
+        if self.crashed:
+            return
         pending = False
         now = self.sim.now
         for tracker in self._trackers.values():

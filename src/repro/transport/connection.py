@@ -73,6 +73,7 @@ class Connection:
         available_packets: int | None = None,
         on_deliver: Callable[[int], None] | None = None,
         on_sender_complete: Callable[[WindowedSender], None] | None = None,
+        on_sender_fail: Callable[[WindowedSender], None] | None = None,
         on_receiver_complete: Callable[[AckingReceiver], None] | None = None,
         label: str = "",
     ) -> None:
@@ -142,6 +143,7 @@ class Connection:
             return_stops=return_route,
             available_packets=available_packets,
             on_complete=on_sender_complete,
+            on_fail=on_sender_fail,
             label=f"{self.label}:snd",
         )
         src.register_handler(self.flow_id, self.sender.on_packet)
@@ -159,7 +161,31 @@ class Connection:
         """True once the receiver has the whole flow."""
         return self.receiver.completed
 
+    @property
+    def failed(self) -> bool:
+        """True once the sender has given up on the flow."""
+        return self.sender.failed
+
+    def reroute_via(self, via: tuple["Host", ...]) -> None:
+        """Re-point the connection through new proxy stops (failover).
+
+        Only *future* packets take the new path: copies already in flight
+        toward the old proxy are lost if it is down, and the transport's
+        normal RTO/RACK machinery recovers them over the new route.  ACKs
+        the receiver emits from now on travel the new return route.
+        """
+        via_ids = [h.id for h in via]
+        self.via = via
+        self.sender.dst_id = via_ids[0] if via_ids else self.dst.id
+        self.sender.stops = (*via_ids[1:], self.dst.id) if via_ids else ()
+        return_route = (*reversed(via_ids), self.src.id)
+        self.sender.return_stops = return_route
+        self.receiver.return_route = return_route
+
     def teardown(self) -> None:
-        """Unregister both endpoints (for reusing hosts across runs)."""
+        """Unregister both endpoints and cancel their pending timers
+        (for reusing hosts across runs; no stale callbacks fire after)."""
+        self.sender.close()
+        self.receiver.close()
         self.src.unregister_handler(self.flow_id)
         self.dst.unregister_handler(self.flow_id)

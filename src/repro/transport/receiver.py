@@ -94,12 +94,24 @@ class AckingReceiver:
         self._pending_acks = 0
         self._batch_marked = False
         self._batch_last: Packet | None = None
+        self._closed = False
         self._delack = Timer(sim, self._flush_ack)
 
     # -- receive path -----------------------------------------------------------
 
+    def close(self) -> None:
+        """Cancel the delayed-ACK timer and stop reacting to packets.
+
+        Called on connection teardown and when the hosting process crashes
+        (Naive proxy) so no stale timer callback fires afterwards.
+        """
+        self._closed = True
+        self._delack.stop()
+
     def on_packet(self, packet: Packet) -> None:
         """Entry point for packets delivered to the receiving host."""
+        if self._closed:
+            return
         if packet.kind != PacketType.DATA:
             return  # control addressed to a receiver: nothing to do
         if packet.trimmed:

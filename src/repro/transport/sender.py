@@ -100,6 +100,7 @@ class WindowedSender:
         return_stops: tuple[int, ...] = (),
         available_packets: int | None = None,
         on_complete: Callable[["WindowedSender"], None] | None = None,
+        on_fail: Callable[["WindowedSender"], None] | None = None,
         label: str = "",
     ) -> None:
         if total_packets <= 0:
@@ -116,6 +117,7 @@ class WindowedSender:
         self.stops = stops
         self.return_stops = return_stops
         self.on_complete = on_complete
+        self.on_fail = on_fail
         self.label = label or f"snd:{flow_id}"
         self.stats = SenderStats()
 
@@ -126,6 +128,10 @@ class WindowedSender:
         self.pipe = 0
         self.completed = False
         self.started = False
+        self.failed = False
+        self.fail_reason: str | None = None
+        self._consecutive_timeouts = 0
+        self._closed = False
 
         self._state: dict[int, int] = {}
         self._sent_ts: dict[int, int] = {}
@@ -167,9 +173,37 @@ class WindowedSender:
 
     # -- receive path --------------------------------------------------------------
 
+    def fail(self, reason: str) -> None:
+        """Declare the flow failed: stop all timers, drop pending work.
+
+        Used when the RTO/backoff path gives up (``max_consecutive_timeouts``)
+        and when an endpoint's process dies (proxy crash).  Idempotent; does
+        nothing on an already completed flow.
+        """
+        if self.completed or self.failed:
+            return
+        self.failed = True
+        self.fail_reason = reason
+        self._rto.stop()
+        self._tlp.stop()
+        self._retx.clear()
+        self.sim.trace(self.label, "flow-failed", reason=reason)
+        if self.on_fail is not None:
+            self.on_fail(self)
+
+    def close(self) -> None:
+        """Cancel pending timers and stop reacting to packets (teardown).
+
+        Unlike :meth:`fail`, closing is silent — no callbacks fire — so it
+        is safe to call from generic teardown paths after completion.
+        """
+        self._closed = True
+        self._rto.stop()
+        self._tlp.stop()
+
     def on_packet(self, packet: Packet) -> None:
         """Entry point for ACK/NACK packets delivered to the sending host."""
-        if self.completed:
+        if self.completed or self.failed or self._closed:
             return
         if packet.kind == PacketType.ACK:
             self._on_ack(packet)
@@ -211,6 +245,7 @@ class WindowedSender:
             self._purge_below_cum()
         if progress:
             self._backoff = 0
+            self._consecutive_timeouts = 0
 
         self._detect_rack_losses(packet.ts_echo)
 
@@ -355,7 +390,7 @@ class WindowedSender:
         """No ACK for ~2 RTTs with data outstanding: re-send the highest
         in-flight segment so the returning (S)ACK re-arms RACK-based
         recovery instead of stalling until the RTO."""
-        if self.completed or self.pipe == 0:
+        if self.completed or self.failed or self._closed or self.pipe == 0:
             return
         probe_seq = max(
             (s for s, st in self._state.items() if st == _INFLIGHT), default=None
@@ -389,12 +424,17 @@ class WindowedSender:
     # -- internals: timeout ----------------------------------------------------------
 
     def _on_rto(self) -> None:
-        if self.completed:
+        if self.completed or self.failed or self._closed:
             return
         if self.pipe == 0 and not self._retx:
             return  # nothing outstanding; timer was stale
         now = self.sim.now
         self.stats.timeouts += 1
+        self._consecutive_timeouts += 1
+        limit = self.cfg.max_consecutive_timeouts
+        if limit is not None and self._consecutive_timeouts >= limit:
+            self.fail(f"{limit} consecutive retransmission timeouts")
+            return
         self.cc.on_timeout(now, self.next_new)
         # Everything in flight is presumed lost (paper §4.1: window reset):
         # all slots are released and the retransmissions start cwnd-limited.

@@ -176,6 +176,20 @@ class TestResultCache:
         assert engine.stats.cache_misses == 1
         assert results[0].completed
 
+    def test_corrupt_entry_is_deleted_on_load_failure(self, tiny_scenario, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = scenario_key(tiny_scenario)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a pickle")
+
+        assert cache.get(key) is None
+        # the poisoned file is gone, so the next store/get cycle is clean
+        assert not path.exists()
+        result = run_incast(tiny_scenario)
+        cache.put(key, result)
+        assert cache.get(key) is not None
+
     def test_uncacheable_scenarios_just_run(self, tiny_scenario, tmp_path):
         cache = ResultCache(tmp_path)
         scenario = replace(tiny_scenario, proxy_delay_sampler=lambda: 0)

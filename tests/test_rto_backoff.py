@@ -1,0 +1,116 @@
+"""RTO exponential backoff: cap, blackhole survival, timer teardown."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.runner import IncastScenario, run_incast
+from repro.config import TransportConfig, small_interdc_config
+from repro.faults import FaultContext, FaultInjector, blackhole_plan
+from repro.transport.connection import Connection
+from repro.transport.rtt import RttEstimator
+from repro.units import kilobytes, microseconds, milliseconds, seconds
+from tests.conftest import build_pair
+
+
+class TestRtoCap:
+    def _estimator(self):
+        return RttEstimator(
+            initial_rtt_ps=microseconds(100),
+            min_rto_ps=microseconds(500),
+            max_rto_ps=milliseconds(400),
+        )
+
+    def test_backoff_doubles_below_the_cap(self):
+        rtt = self._estimator()
+        base = rtt.rto_ps(0)
+        backoff = 1
+        while rtt.rto_ps(backoff) < rtt.max_rto:
+            assert rtt.rto_ps(backoff) == base << backoff
+            backoff += 1
+
+    def test_backoff_clamps_to_max_rto(self):
+        rtt = self._estimator()
+        assert rtt.rto_ps(20) == rtt.max_rto
+        assert rtt.rto_ps(60) == rtt.max_rto  # no overflow past the cap either
+
+    def test_cap_holds_after_samples_grow_srtt(self):
+        rtt = self._estimator()
+        for _ in range(8):
+            rtt.on_sample(milliseconds(50))
+        assert rtt.rto_ps(10) == rtt.max_rto
+        assert rtt.rto_ps(0) <= rtt.max_rto
+
+
+class TestBlackholeSurvival:
+    def test_sender_survives_full_blackhole_window(self, sim, transport_cfg):
+        # Every packet in both directions vanishes for 2ms; with unbounded
+        # consecutive timeouts the sender must back off, keep probing, and
+        # finish once the window lifts.
+        net, a, b = build_pair(sim)
+        plan = blackhole_plan(
+            at_ps=microseconds(50), duration_ps=milliseconds(2),
+            drop_fraction=1.0, target="receiver",
+        )
+        FaultInjector(sim, plan, FaultContext(net, receiver_host=b)).arm()
+        # 1 MB at 10 Gbps ~ 800us of serialization: the flow is mid-flight
+        # when the window opens at 50us.
+        conn = Connection(net, a, b, 1_000_000, transport_cfg)
+        conn.start()
+        sim.run(until=seconds(1))
+        assert conn.completed
+        assert not conn.failed
+        assert conn.sender.stats.timeouts > 0
+        assert conn.sender.stats.retransmissions > 0
+
+    def test_bounded_timeouts_fail_before_the_horizon(self):
+        # A permanent blackhole with max_consecutive_timeouts=4: every flow
+        # gives up after exactly four backed-off RTOs instead of pinning the
+        # run to the 2s horizon.
+        scenario = IncastScenario(
+            degree=2,
+            total_bytes=kilobytes(100),
+            interdc=small_interdc_config(),
+            transport=TransportConfig(max_consecutive_timeouts=4),
+            horizon_ps=seconds(2),
+            faults=blackhole_plan(at_ps=0, duration_ps=seconds(2), drop_fraction=1.0),
+        )
+        result = run_incast(scenario)
+        assert not result.completed
+        assert result.failed_flows == 2
+        assert result.timeouts == 2 * 4
+        # give-up stopped the clock: far fewer events than a horizon-pinned
+        # run repeatedly retransmitting at the RTO cap for 2 simulated seconds
+        capped = replace(
+            scenario, transport=TransportConfig(max_consecutive_timeouts=None)
+        )
+        pinned = run_incast(capped)
+        assert pinned.timeouts > result.timeouts
+        assert pinned.events_executed > result.events_executed
+
+
+class TestTeardownCancelsTimers:
+    def test_pending_retransmit_timers_cancelled(self, sim, transport_cfg):
+        net, a, b = build_pair(sim)
+        conn = Connection(net, a, b, 200_000, transport_cfg)
+        conn.start()
+        sim.run(until=microseconds(30))  # mid-flight: RTO/TLP are armed
+        assert conn.sender._rto.armed or conn.sender._tlp.armed
+        conn.teardown()
+        assert not conn.sender._rto.armed
+        assert not conn.sender._tlp.armed
+        assert not conn.receiver._delack.armed
+        # the run drains without the torn-down flow ever firing a timer
+        timeouts_before = conn.sender.stats.timeouts
+        sim.run(until=seconds(1))
+        assert conn.sender.stats.timeouts == timeouts_before
+        assert not conn.completed
+
+    def test_teardown_is_idempotent(self, sim, transport_cfg):
+        net, a, b = build_pair(sim)
+        conn = Connection(net, a, b, 10_000, transport_cfg)
+        conn.start()
+        sim.run(until=microseconds(10))
+        conn.teardown()
+        conn.teardown()
+        assert not conn.sender._rto.armed
