@@ -6,10 +6,10 @@ regressions in the hot path are visible independently of experiment
 results.
 """
 
-import random
-
+from repro.analysis.sanitizer import Sanitizer
 from repro.config import QueueSpec, TransportConfig, small_interdc_config
 from repro.net.packet import make_data
+from repro.sim.rng import derive_stream
 from repro.sim.simulator import Simulator
 from repro.topology.interdc import build_interdc
 from repro.transport.connection import Connection
@@ -41,7 +41,7 @@ def test_queue_offer_pop_throughput(benchmark):
                      ecn_low_bytes=10**6, ecn_high_bytes=10**7)
 
     def run():
-        q = spec.build(random.Random(0))
+        q = spec.build(derive_stream(0, "bench:queue"))
         for i in range(50_000):
             q.offer(make_data(1, i, 0, 1, payload_bytes=1500))
         drained = 0
@@ -68,6 +68,36 @@ def test_end_to_end_transfer_throughput(benchmark):
         conn.start()
         sim.run(until=milliseconds(10_000))
         assert conn.completed
+        return sim.events_executed
+
+    events = benchmark(run)
+    assert events > 0
+
+
+def test_end_to_end_transfer_sanitized(benchmark):
+    """The same 10 MB flow with the invariant sanitizer installed.
+
+    Compare against ``test_end_to_end_transfer_throughput`` to read the
+    sanitizer's overhead; the hooks are one attribute read + ``None`` test
+    when disabled, and per-packet counter updates when installed.
+    """
+
+    def run():
+        sim = Simulator(seed=0)
+        san = Sanitizer().install(sim)
+        topo = build_interdc(sim, small_interdc_config())
+        conn = Connection(
+            topo.net,
+            topo.hosts(0)[0],
+            topo.hosts(1)[0],
+            megabytes(10),
+            TransportConfig(payload_bytes=4096),
+        )
+        conn.start()
+        sim.run(until=milliseconds(10_000))
+        assert conn.completed
+        report = san.finish(topo.net)
+        assert report.injected_packets > 0
         return sim.events_executed
 
     events = benchmark(run)

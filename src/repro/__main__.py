@@ -7,7 +7,9 @@ Commands:
 * ``verdicts`` — the automated claim-by-claim scorecard;
 * ``quickstart`` — the headline comparison, one table;
 * ``faults``   — fault-injection sweeps: ICT vs fault severity per scheme
-  (see ``python -m repro faults --help``).
+  (see ``python -m repro faults --help``);
+* ``lint``     — the determinism linter over ``src`` and ``benchmarks``
+  (see ``python -m repro lint --help``); exits non-zero on violations.
 
 Global simulation-execution flags (also accepted by ``figures``):
 
@@ -23,7 +25,7 @@ import argparse
 import sys
 
 
-def _quickstart(workers: int, no_cache: bool) -> None:
+def _quickstart(workers: int, no_cache: bool, sanitize: bool = False) -> None:
     from dataclasses import replace
 
     from repro.config import TransportConfig, small_interdc_config
@@ -37,13 +39,20 @@ def _quickstart(workers: int, no_cache: bool) -> None:
         interdc=small_interdc_config(),
         transport=TransportConfig(payload_bytes=4096),
     )
-    engine = build_engine(workers, no_cache)
+    engine = build_engine(workers, no_cache, sanitize=sanitize)
     results = engine.run_incasts(
         [replace(scenario, scheme=scheme) for scheme in SCHEMES]
     )
-    print(f"{'scheme':<14} {'ICT':>12}")
-    for scheme, result in zip(SCHEMES, results):
-        print(f"{scheme:<14} {format_duration(result.ict_ps):>12}")
+    if sanitize:
+        print(f"{'scheme':<14} {'ICT':>12} {'conservation':>16}")
+        for scheme, result in zip(SCHEMES, results):
+            tally = result.conservation or {}
+            status = f"{tally.get('injected_packets', 0)} pkts ok"
+            print(f"{scheme:<14} {format_duration(result.ict_ps):>12} {status:>16}")
+    else:
+        print(f"{'scheme':<14} {'ICT':>12}")
+        for scheme, result in zip(SCHEMES, results):
+            print(f"{scheme:<14} {format_duration(result.ict_ps):>12}")
 
 
 def main(argv: list[str] | None = None) -> None:
@@ -62,6 +71,10 @@ def main(argv: list[str] | None = None) -> None:
         from repro.experiments.faultsweep import main as faults_main
 
         faults_main(args)
+    elif command == "lint":
+        from repro.analysis.lint import main as lint_main
+
+        raise SystemExit(lint_main(args))
     elif command == "quickstart":
         parser = argparse.ArgumentParser(
             prog="python -m repro quickstart",
@@ -75,12 +88,18 @@ def main(argv: list[str] | None = None) -> None:
             "--no-cache", action="store_true",
             help="always re-simulate; skip the on-disk result cache",
         )
+        parser.add_argument(
+            "--sanitize", action="store_true",
+            help="run under the invariant sanitizer (packet/byte "
+                 "conservation; bypasses the cache)",
+        )
         opts = parser.parse_args(args)
         if opts.workers < 0:
             parser.error(f"--workers must be non-negative, got {opts.workers}")
-        _quickstart(opts.workers, opts.no_cache)
+        _quickstart(opts.workers, opts.no_cache, opts.sanitize)
     else:
-        print(f"unknown command {command!r}; try: figures, verdicts, quickstart, faults",
+        print(f"unknown command {command!r}; "
+              "try: figures, verdicts, quickstart, faults, lint",
               file=sys.stderr)
         raise SystemExit(2)
 

@@ -13,11 +13,11 @@ leaf/spine port buffers with 33.2 KB / 136.95 KB ECN thresholds, and
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigError
 from repro.net.queues import DropTailQueue, EcnQueue, HostQueue, TrimmingQueue
+from repro.sim.rng import SimRandom
 from repro.units import gbps, kilobytes, megabytes, microseconds, milliseconds
 
 
@@ -49,7 +49,7 @@ class QueueSpec:
                 f"{self.ecn_low_bytes}/{self.ecn_high_bytes}/{self.capacity_bytes}"
             )
 
-    def build(self, rng: random.Random):
+    def build(self, rng: SimRandom):
         """Instantiate the discipline."""
         if self.kind == "droptail":
             return DropTailQueue(self.capacity_bytes)

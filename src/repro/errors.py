@@ -63,3 +63,15 @@ class FaultError(ReproError):
 class InjectedFaultError(ReproError):
     """Raised by a ``CrashRun`` fault event: a deliberate in-run crash used
     to exercise the experiment engine's failure quarantine."""
+
+
+class AnalysisError(ReproError):
+    """Base class for the static/runtime analysis subsystem."""
+
+
+class LintError(AnalysisError):
+    """The linter was invoked on unreadable or unparseable input."""
+
+
+class SanitizerError(AnalysisError):
+    """A runtime simulation invariant was violated under ``--sanitize``."""

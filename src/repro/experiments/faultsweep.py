@@ -247,6 +247,11 @@ def main(argv: Sequence[str] | None = None) -> None:
         "--smoke", action="store_true",
         help="tiny deterministic sweep + engine quarantine check (CI)",
     )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run every simulation under the invariant sanitizer "
+             "(packet/byte conservation, queue bounds; bypasses the cache)",
+    )
     args = parser.parse_args(argv)
     if args.workers < 0:
         parser.error(f"--workers must be non-negative, got {args.workers}")
@@ -256,7 +261,8 @@ def main(argv: Sequence[str] | None = None) -> None:
         parser.error(f"--run-timeout must be positive, got {args.run_timeout}")
 
     engine = build_engine(
-        args.workers, args.no_cache, args.cache_dir, run_timeout_s=args.run_timeout
+        args.workers, args.no_cache, args.cache_dir,
+        run_timeout_s=args.run_timeout, sanitize=args.sanitize,
     )
 
     if args.smoke:

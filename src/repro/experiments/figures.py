@@ -164,6 +164,7 @@ def build_engine(
     no_cache: bool,
     cache_dir: Path | None = None,
     run_timeout_s: float | None = None,
+    sanitize: bool = False,
 ) -> ExperimentEngine:
     """The engine the figure drivers share, honoring the CLI cache flags."""
     cache = None if no_cache else ResultCache(cache_dir or DEFAULT_CACHE_DIR)
@@ -172,6 +173,7 @@ def build_engine(
         cache=cache,
         on_fallback=lambda reason: print(f"[parallel] {reason}"),
         run_timeout_s=run_timeout_s,
+        sanitize=sanitize,
     )
 
 
@@ -207,6 +209,11 @@ def main(argv: Sequence[str] | None = None) -> None:
         "--run-timeout", type=float, default=None, metavar="S",
         help="per-run wall-clock deadline in seconds (overruns are quarantined)",
     )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run every simulation under the invariant sanitizer "
+             "(packet/byte conservation, queue bounds; bypasses the cache)",
+    )
     args = parser.parse_args(argv)
     if args.workers < 0:
         parser.error(f"--workers must be non-negative, got {args.workers}")
@@ -214,7 +221,7 @@ def main(argv: Sequence[str] | None = None) -> None:
         parser.error(f"--run-timeout must be positive, got {args.run_timeout}")
     wanted = set(args.only) if args.only else {"fig2l", "fig2r", "fig3", "fig4", "fig5"}
     engine = build_engine(args.workers, args.no_cache, args.cache_dir,
-                          run_timeout_s=args.run_timeout)
+                          run_timeout_s=args.run_timeout, sanitize=args.sanitize)
 
     if "fig2l" in wanted:
         _print_sweep("Figure 2 (Left)",

@@ -60,7 +60,8 @@ R = TypeVar("R")
 #: Bump when the result schema changes so stale cache entries never load.
 #: v2: IncastResult gained fault/failure fields; IncastScenario gained
 #: faults/failover.
-CACHE_SCHEMA_VERSION = 2
+#: v3: IncastResult gained the conservation tally (--sanitize).
+CACHE_SCHEMA_VERSION = 3
 
 #: Default on-disk cache location (override with $REPRO_CACHE_DIR).
 DEFAULT_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", "results/.sweep-cache"))
@@ -497,6 +498,7 @@ class ExperimentEngine:
         run_timeout_s: float | None = None,
         max_attempts: int = 2,
         retry_backoff_s: float = 0.05,
+        sanitize: bool = False,
     ) -> None:
         if run_timeout_s is not None and run_timeout_s <= 0:
             raise ExperimentError(
@@ -510,6 +512,11 @@ class ExperimentEngine:
             )
         self.workers = resolve_workers(workers)
         self.cache = cache
+        #: run every incast under the invariant sanitizer.  Sanitized runs
+        #: bypass the cache in both directions: a cached result proves
+        #: nothing about invariants, and a sanitized result carries a
+        #: conservation tally a plain run would not reproduce.
+        self.sanitize = sanitize
         self.on_fallback = on_fallback
         self.run_timeout_s = run_timeout_s
         self.max_attempts = max_attempts
@@ -572,7 +579,7 @@ class ExperimentEngine:
 
         if misses:
             fresh = run_parallel_guarded(
-                run_incast,
+                _run_incast_sanitized if self.sanitize else run_incast,
                 [scenario for _, scenario in misses],
                 workers=self.workers,
                 timeout_s=self.run_timeout_s,
@@ -604,7 +611,7 @@ class ExperimentEngine:
         return [r for r in results if r is not None]
 
     def _lookup(self, scenario: IncastScenario) -> IncastResult | None:
-        if self.cache is None:
+        if self.cache is None or self.sanitize:
             return None
         try:
             key = scenario_key(scenario)
@@ -614,7 +621,7 @@ class ExperimentEngine:
         return value if isinstance(value, IncastResult) else None
 
     def _store(self, scenario: IncastScenario, result: IncastResult) -> None:
-        if self.cache is None:
+        if self.cache is None or self.sanitize:
             return
         try:
             key = scenario_key(scenario)
@@ -624,6 +631,11 @@ class ExperimentEngine:
             self.cache.put(key, result)
         except OSError:  # read-only filesystem: run uncached, don't fail
             pass
+
+
+def _run_incast_sanitized(scenario: IncastScenario) -> IncastResult:
+    """Module-level (hence picklable) sanitized run for the worker pool."""
+    return run_incast(scenario, sanitize=True)
 
 
 def run_incast_batch(

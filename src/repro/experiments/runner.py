@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.analysis.sanitizer import Sanitizer
 from repro.config import InterDcConfig, TransportConfig, paper_interdc_config
 from repro.detection.lossdetector import DetectorConfig
 from repro.errors import ExperimentError
@@ -137,6 +138,9 @@ class IncastResult:
     fault_events_skipped: int = 0
     #: primary->backup migrations performed (proxy-failover scheme only).
     failovers: int = 0
+    #: end-of-run packet/byte conservation tally when the run executed with
+    #: ``sanitize=True`` (see repro.analysis.sanitizer); None otherwise.
+    conservation: dict[str, int] | None = None
 
     @property
     def ict_ms(self) -> float:
@@ -169,10 +173,17 @@ def _start_background(sim, topo, scenario: IncastScenario, busy_hosts: set[int])
         ).start()
 
 
-def run_incast(scenario: IncastScenario) -> IncastResult:
-    """Execute ``scenario`` and return its measurements."""
+def run_incast(scenario: IncastScenario, *, sanitize: bool = False) -> IncastResult:
+    """Execute ``scenario`` and return its measurements.
+
+    With ``sanitize=True`` a :class:`~repro.analysis.sanitizer.Sanitizer`
+    is installed before the network is built: invariants are checked
+    throughout the run, exact packet/byte conservation is verified at the
+    end, and the tally lands in ``IncastResult.conservation``.
+    """
     wall_start = time.perf_counter()
     sim = Simulator(seed=scenario.seed)
+    sanitizer = Sanitizer().install(sim) if sanitize else None
     trimming = scenario.scheme in _TRIMMING_SCHEMES
     topo = build_interdc(
         sim, scenario.interdc.with_trimming(trimming), routing=scenario.routing
@@ -305,6 +316,9 @@ def run_incast(scenario: IncastScenario) -> IncastResult:
     failed_flows = sum(1 for state in outcome if state == "failed")
     ict = max(completions) if completions and completed else scenario.horizon_ps
 
+    conservation = None
+    if sanitizer is not None:
+        conservation = sanitizer.finish(net, injector).as_dict()
     counters = collect_network_counters(net)
     result = IncastResult(
         scenario=scenario,
@@ -323,5 +337,6 @@ def run_incast(scenario: IncastScenario) -> IncastResult:
         fault_events_applied=injector.applied if injector is not None else 0,
         fault_events_skipped=injector.skipped if injector is not None else 0,
         failovers=manager.failovers if manager is not None else 0,
+        conservation=conservation,
     )
     return result

@@ -217,6 +217,9 @@ class FaultInjector:
             raise InjectedFaultError(event.message)
         elif isinstance(event, StallRun):
             self.applied += 1
+            # A StallRun deliberately burns wall time to exercise the
+            # engine's per-run deadline quarantine.
+            # repro: allow[wall-clock] deliberate stall fault
             _time.sleep(event.wall_seconds)
         else:  # pragma: no cover - new event kinds must be wired here
             raise FaultError(f"injector cannot execute {type(event).__name__}")

@@ -10,9 +10,9 @@ numbers is a matter of transcribing them.  For a lognormal,
 from __future__ import annotations
 
 import math
-import random
 
 from repro.errors import ConfigError
+from repro.sim.rng import SimRandom
 
 #: Phi^-1(0.99) — the standard normal 99th-percentile quantile.
 Z99 = 2.3263478740408408
@@ -21,7 +21,7 @@ Z99 = 2.3263478740408408
 class LatencyDistribution:
     """Interface: sample latencies in picoseconds."""
 
-    def sample(self, rng: random.Random) -> int:
+    def sample(self, rng: SimRandom) -> int:
         """One latency draw (ps, non-negative)."""
         raise NotImplementedError
 
@@ -38,7 +38,7 @@ class Constant(LatencyDistribution):
             raise ConfigError("latency must be non-negative")
         self.value_ps = value_ps
 
-    def sample(self, rng: random.Random) -> int:
+    def sample(self, rng: SimRandom) -> int:
         return self.value_ps
 
     def percentile(self, p: float) -> float:
@@ -69,8 +69,8 @@ class Lognormal(LatencyDistribution):
         self._mu = math.log(body_median)
         self._sigma = math.log(body_p99 / body_median) / Z99 if body_p99 > body_median else 0.0
 
-    def sample(self, rng: random.Random) -> int:
-        if self._sigma == 0.0:
+    def sample(self, rng: SimRandom) -> int:
+        if self._sigma == 0.0:  # repro: allow[float-eq] exact sentinel set above
             return round(self.shift_ps + math.exp(self._mu))
         return round(self.shift_ps + rng.lognormvariate(self._mu, self._sigma))
 
@@ -95,7 +95,7 @@ class Mixture(LatencyDistribution):
             raise ConfigError("mixture weights must be non-negative with positive sum")
         self._components = [(w / total, d) for w, d in components]
 
-    def sample(self, rng: random.Random) -> int:
+    def sample(self, rng: SimRandom) -> int:
         u = rng.random()
         acc = 0.0
         for weight, dist in self._components:

@@ -9,13 +9,13 @@ proxy processing delay.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import ConfigError
 from repro.hoststack.pipeline import LatencyPipeline
 from repro.metrics.cdf import EmpiricalCdf
+from repro.sim.rng import derive_stream
 from repro.units import to_microseconds
 
 
@@ -42,7 +42,7 @@ def measure_pipeline(
     """Draw ``packets`` per-packet latencies from ``pipeline``."""
     if packets < 1:
         raise ConfigError("packets must be at least 1")
-    rng = random.Random(seed)
+    rng = derive_stream(seed, "hoststack:measure")
     samples = [pipeline.sample(rng) for _ in range(packets)]
     return LatencyMeasurement(
         pipeline=pipeline.name, samples_ps=samples, cdf=EmpiricalCdf(samples)
@@ -56,5 +56,5 @@ def sampler_for_sim(pipeline: LatencyPipeline, seed: int = 0) -> Callable[[], in
     to :class:`~repro.proxy.streamlined.StreamlinedProxy`) to charge
     realistic host-stack processing on every packet the proxy touches.
     """
-    rng = random.Random(seed)
+    rng = derive_stream(seed, "hoststack:sampler")
     return lambda: pipeline.sample(rng)

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-import random
 from typing import Sequence
 
 from repro.errors import ConfigError
 from repro.hoststack.components import Stage
+from repro.sim.rng import SimRandom
 
 
 class LatencyPipeline:
@@ -18,11 +18,11 @@ class LatencyPipeline:
         self.name = name
         self.stages = tuple(stages)
 
-    def sample(self, rng: random.Random) -> int:
+    def sample(self, rng: SimRandom) -> int:
         """One end-to-end latency draw in picoseconds."""
         return sum(stage.dist.sample(rng) for stage in self.stages)
 
-    def sample_breakdown(self, rng: random.Random) -> dict[str, int]:
+    def sample_breakdown(self, rng: SimRandom) -> dict[str, int]:
         """One draw with per-stage attribution (for reports)."""
         return {stage.name: stage.dist.sample(rng) for stage in self.stages}
 

@@ -13,12 +13,12 @@ switch is idle.
 
 from __future__ import annotations
 
-import random
 from collections import deque
 
 from repro.errors import ConfigError
 from repro.net.packet import Packet
 from repro.net.queues import EnqueueOutcome, QueueStats
+from repro.sim.rng import SimRandom
 
 
 class SharedBuffer:
@@ -64,7 +64,7 @@ class SharedEcnQueue:
         alpha: float,
         ecn_low_bytes: int,
         ecn_high_bytes: int,
-        rng: random.Random,
+        rng: SimRandom,
     ) -> None:
         if alpha <= 0:
             raise ConfigError("DT alpha must be positive")

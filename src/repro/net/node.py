@@ -8,12 +8,12 @@ proxy applications) registered on it.
 
 from __future__ import annotations
 
-import random
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import RoutingError, TopologyError
 from repro.net.packet import Packet
 from repro.net.port import OutputPort
+from repro.sim.rng import SimRandom
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.routing import RoutingStrategy
@@ -52,7 +52,7 @@ class Switch(Node):
     def __init__(self, sim: "Simulator", node_id: int, name: str, dc: int) -> None:
         super().__init__(sim, node_id, name, dc)
         self.routing: "RoutingStrategy | None" = None
-        self.spray_rng: random.Random | None = None
+        self.spray_rng: SimRandom | None = None
 
     def receive(self, packet: Packet) -> None:
         """Forward toward ``packet.dst``."""
@@ -95,24 +95,36 @@ class Host(Node):
         """Transmit ``packet`` out of the NIC."""
         if self.nic is None:
             raise TopologyError(f"host {self.name} is not connected")
+        san = self.sim.sanitizer
+        if san is not None:
+            # Host NICs are the sole injection points: transport sends,
+            # ACKs/NACKs, and proxy relays all pass through here.
+            san.on_inject(packet)
         self.nic.send(packet)
 
     def receive(self, packet: Packet) -> None:
         """Deliver to the flow's handler; count strays for diagnostics."""
+        san = self.sim.sanitizer
         if packet.corrupted:
             # The NIC checksum catches a corrupted packet: it consumed
             # bandwidth and buffer space all the way here, but the stack
             # never sees it — strictly worse than a clean in-network drop.
             self.corrupt_dropped += 1
+            if san is not None:
+                san.on_corrupt_drop(packet)
             if self.sim.tracer.enabled:
                 self.sim.trace(self.name, "corrupt-drop", flow=packet.flow_id, seq=packet.seq)
             return
         handler = self.handlers.get(packet.flow_id)
         if handler is None:
             self.stray_packets += 1
+            if san is not None:
+                san.on_stray(packet)
             if self.sim.tracer.enabled:
                 self.sim.trace(self.name, "stray", flow=packet.flow_id, seq=packet.seq)
             return
+        if san is not None:
+            san.on_deliver(packet)
         handler(packet)
 
     @property

@@ -78,13 +78,18 @@ class OutputPort:
 
     def send(self, packet: Packet) -> EnqueueOutcome:
         """Offer ``packet`` to the queue and kick the service loop."""
+        san = self.sim.sanitizer
         if not self.up:
             self.dropped_while_down += 1
+            if san is not None:
+                san.on_down_drop(packet)
             if self.sim.tracer.enabled:
                 self.sim.trace(self.name, "drop-down", flow=packet.flow_id, seq=packet.seq)
             return EnqueueOutcome.DROPPED
         if self.blackhole_fraction > 0 and self._fault_hits(self.blackhole_fraction):
             self.blackholed_packets += 1
+            if san is not None:
+                san.on_blackhole(packet)
             if self.sim.tracer.enabled:
                 self.sim.trace(self.name, "blackhole", flow=packet.flow_id, seq=packet.seq)
             return EnqueueOutcome.DROPPED
@@ -93,7 +98,13 @@ class OutputPort:
             self.corrupted_packets += 1
             if self.sim.tracer.enabled:
                 self.sim.trace(self.name, "corrupt", flow=packet.flow_id, seq=packet.seq)
-        outcome = self.queue.offer(packet)
+        if san is None:
+            outcome = self.queue.offer(packet)
+        else:
+            size_before = packet.size_bytes
+            outcome = self.queue.offer(packet)
+            san.on_offer(self.queue, packet,
+                         outcome is EnqueueOutcome.DROPPED, size_before)
         if outcome is EnqueueOutcome.DROPPED:
             if self.sim.tracer.enabled:
                 self.sim.trace(self.name, "drop", flow=packet.flow_id, seq=packet.seq)
@@ -110,18 +121,29 @@ class OutputPort:
             self.busy = False
             return
         self.busy = True
+        san = self.sim.sanitizer
+        if san is not None:
+            san.on_tx_start(packet)
         tx_delay = round(packet.size_bytes * self._ps_per_byte)
         self.sim.schedule(tx_delay, partial(self._tx_done, packet))
 
     def _tx_done(self, packet: Packet) -> None:
+        san = self.sim.sanitizer
         if not self.up:
             # The link died mid-flight: the packet is lost on the wire and
             # the port goes quiet until it comes back up.
+            if san is not None:
+                san.on_wire_lost(packet)
             self.busy = False
             return
         self.tx_packets += 1
         self.tx_bytes += packet.size_bytes
-        self.sim.schedule(self.delay_ps, partial(self.dst_node.receive, packet))
+        if san is None:
+            self.sim.schedule(self.delay_ps, partial(self.dst_node.receive, packet))
+        else:
+            # Route the landing through the sanitizer so the in-transit
+            # tally stays exact.
+            self.sim.schedule(self.delay_ps, partial(san.deliver, self.dst_node, packet))
         if self.queue.is_empty:
             self.busy = False
         else:

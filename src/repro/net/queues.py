@@ -22,11 +22,11 @@ statistics; ports translate outcomes into traces.
 
 from __future__ import annotations
 
-import random
 from collections import deque
 from enum import IntEnum
 
 from repro.net.packet import Packet
+from repro.sim.rng import SimRandom
 
 
 class EnqueueOutcome(IntEnum):
@@ -120,7 +120,7 @@ class EcnQueue(DropTailQueue):
         capacity_bytes: int,
         ecn_low_bytes: int,
         ecn_high_bytes: int,
-        rng: random.Random,
+        rng: SimRandom,
     ) -> None:
         super().__init__(capacity_bytes)
         if not 0 <= ecn_low_bytes <= ecn_high_bytes:
@@ -171,7 +171,7 @@ class TrimmingQueue:
         capacity_bytes: int,
         ecn_low_bytes: int,
         ecn_high_bytes: int,
-        rng: random.Random,
+        rng: SimRandom,
         control_capacity_bytes: int = 2_000_000,
     ) -> None:
         if capacity_bytes <= 0:

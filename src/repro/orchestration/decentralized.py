@@ -10,10 +10,9 @@ measurable.
 
 from __future__ import annotations
 
-import random
-
 from repro.errors import OrchestrationError
 from repro.orchestration.state import ProxyRegistry
+from repro.sim.rng import SimRandom
 from repro.units import microseconds
 from repro.workloads.incast import IncastJob
 
@@ -24,7 +23,7 @@ class DecentralizedSelector:
     def __init__(
         self,
         registry: ProxyRegistry,
-        rng: random.Random,
+        rng: SimRandom,
         max_load: int = 1,
         max_trials: int = 8,
         probe_rtt_ps: int = microseconds(20),

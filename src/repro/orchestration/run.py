@@ -14,7 +14,6 @@ strategy.  Strategies:
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -29,6 +28,7 @@ from repro.orchestration.state import ProxyRegistry
 from repro.proxy.naive import NaiveProxy
 from repro.proxy.streamlined import StreamlinedProxy
 from repro.proxy.trimless import TrimlessStreamlinedProxy
+from repro.sim.rng import derive_stream
 from repro.sim.simulator import Simulator
 from repro.topology.interdc import build_interdc
 from repro.transport.connection import Connection
@@ -123,7 +123,7 @@ def run_concurrent_incasts(
         registry.register(host.id)
     hosts_by_id = {h.id: h for h in candidates}
 
-    rng = random.Random(seed * 7919 + 13)
+    rng = derive_stream(seed, "orchestration:select")
     if strategy in ("none",):
         selector = None
     elif strategy == "decentralized":

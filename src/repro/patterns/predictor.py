@@ -50,7 +50,7 @@ class PeriodicIncastPredictor:
             )
         x = x - x.mean()
         denominator = float(np.dot(x, x))
-        if denominator == 0.0:
+        if denominator == 0.0:  # repro: allow[float-eq] exact zero: constant series
             return PeriodEstimate(period_samples=0, confidence=0.0, next_burst_index=0)
         # Full autocorrelation via FFT, normalized to rho(0) = 1.
         n = int(2 ** np.ceil(np.log2(2 * x.size)))

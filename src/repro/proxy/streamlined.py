@@ -101,7 +101,8 @@ class StreamlinedProxy:
             return
         self.crashed = True
         self.crashes += 1
-        for flow_id in self.flows:
+        # Sorted so handler churn is independent of set-hash order.
+        for flow_id in sorted(self.flows):
             self.host.unregister_handler(flow_id)
         self.sim.trace(self.label, "crash", flows=len(self.flows))
 
@@ -110,7 +111,7 @@ class StreamlinedProxy:
         if not self.crashed:
             return
         self.crashed = False
-        for flow_id in self.flows:
+        for flow_id in sorted(self.flows):
             self.host.register_handler(flow_id, self._handle)
         self.sim.trace(self.label, "restart", flows=len(self.flows))
 

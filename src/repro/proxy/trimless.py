@@ -81,7 +81,8 @@ class TrimlessStreamlinedProxy:
             return
         self.crashed = True
         self.crashes += 1
-        for flow_id in self.flows:
+        # Sorted so handler/detector churn is independent of set-hash order.
+        for flow_id in sorted(self.flows):
             self.host.unregister_handler(flow_id)
             self.detector.remove(flow_id)
         self._trackers.clear()
@@ -95,7 +96,7 @@ class TrimlessStreamlinedProxy:
         if not self.crashed:
             return
         self.crashed = False
-        for flow_id in self.flows:
+        for flow_id in sorted(self.flows):
             self.host.register_handler(flow_id, self._handle)
             self._trackers[flow_id] = self.detector.tracker(
                 flow_id, partial(self._on_inferred_loss, flow_id)

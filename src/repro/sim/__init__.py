@@ -8,7 +8,7 @@ is expressed as callbacks scheduled on a :class:`~repro.sim.simulator.Simulator`
 """
 
 from repro.sim.events import Event
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import RngRegistry, SimRandom, derive_stream
 from repro.sim.scheduler import EventScheduler
 from repro.sim.simulator import Simulator
 from repro.sim.timers import Timer
@@ -21,8 +21,10 @@ __all__ = [
     "NullTracer",
     "RecordingTracer",
     "RngRegistry",
+    "SimRandom",
     "Simulator",
     "Timer",
     "TraceRecord",
     "Tracer",
+    "derive_stream",
 ]

@@ -12,6 +12,30 @@ from __future__ import annotations
 import random
 import zlib
 
+#: The one sanctioned RNG type.  Annotate with this (and construct via
+#: :func:`derive_stream` / :meth:`RngRegistry.stream`) instead of importing
+#: :mod:`random` directly — ``python -m repro lint`` flags raw imports.
+SimRandom = random.Random
+
+_SEED_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _derive_seed(seed: int, name: str) -> int:
+    """Mix a master seed with a CRC of the stream name (64-bit)."""
+    return (seed * 0x9E3779B1 + zlib.crc32(name.encode())) & _SEED_MASK
+
+
+def derive_stream(seed: int, name: str) -> SimRandom:
+    """A one-off named substream, without going through a registry.
+
+    Uses the same (seed, name) -> seed derivation as
+    :meth:`RngRegistry.stream`, so ``derive_stream(s, n)`` and
+    ``RngRegistry(s).stream(n)`` produce identical draw sequences.  Intended
+    for components that take a plain integer seed (workload generators,
+    measurement harnesses) rather than a :class:`~repro.sim.simulator.Simulator`.
+    """
+    return random.Random(_derive_seed(seed, name))
+
 
 class RngRegistry:
     """Hands out independent, deterministically-seeded RNG streams."""
@@ -35,8 +59,7 @@ class RngRegistry:
         """
         rng = self._streams.get(name)
         if rng is None:
-            derived = (self._seed * 0x9E3779B1 + zlib.crc32(name.encode())) & 0xFFFFFFFFFFFFFFFF
-            rng = random.Random(derived)
+            rng = random.Random(_derive_seed(self._seed, name))
             self._streams[name] = rng
         return rng
 

@@ -8,13 +8,16 @@ a time horizon is reached, or a registered stop predicate fires.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
-from repro.errors import SchedulingError, SimulationError
+from repro.errors import SanitizerError, SchedulingError, SimulationError
 from repro.sim.events import Event
 from repro.sim.rng import RngRegistry
 from repro.sim.scheduler import EventScheduler
 from repro.sim.tracing import NullTracer, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.sanitizer import Sanitizer
 
 
 class Simulator:
@@ -26,6 +29,9 @@ class Simulator:
         self.rng = RngRegistry(seed)
         self.tracer: Tracer = tracer if tracer is not None else NullTracer()
         self.events_executed: int = 0
+        #: Opt-in invariant checker (see :mod:`repro.analysis.sanitizer`);
+        #: components test ``sim.sanitizer is not None`` on their hot paths.
+        self.sanitizer: Sanitizer | None = None
         self._running = False
         self._stop_requested = False
 
@@ -71,6 +77,13 @@ class Simulator:
                     break
                 event = scheduler.pop_next()
                 assert event is not None  # next_time() said there is one
+                if self.sanitizer is not None and event.time < self.now:
+                    # Catches events slipped into the past through the raw
+                    # scheduler (Simulator.schedule_at validates up front).
+                    raise SanitizerError(
+                        f"clock would move backwards: event at {event.time} "
+                        f"popped at now={self.now}"
+                    )
                 self.now = event.time
                 event.cancelled = True  # consumed; pending -> False
                 event.callback()

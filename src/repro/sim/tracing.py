@@ -8,7 +8,10 @@ default :class:`NullTracer` discards everything at near-zero cost;
 
 from __future__ import annotations
 
+import csv
+import json
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any
 
 
@@ -52,10 +55,7 @@ class CsvTracer(Tracer):
 
     enabled = True
 
-    def __init__(self, path, kinds: set[str] | None = None) -> None:
-        import csv
-        from pathlib import Path
-
+    def __init__(self, path: str | Path, kinds: set[str] | None = None) -> None:
         self._path = Path(path)
         self._path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = self._path.open("w", newline="")
@@ -68,8 +68,6 @@ class CsvTracer(Tracer):
         """Write one CSV row if the record passes the kind filter."""
         if self._kinds is not None and kind not in self._kinds:
             return
-        import json
-
         self._writer.writerow([time, source, kind, json.dumps(details, sort_keys=True)])
         self.rows_written += 1
 
@@ -81,7 +79,7 @@ class CsvTracer(Tracer):
     def __enter__(self) -> "CsvTracer":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 

@@ -249,6 +249,10 @@ class WindowedSender:
 
         self._detect_rack_losses(packet.ts_echo)
 
+        san = self.sim.sanitizer
+        if san is not None:
+            san.check_sender(self)
+
         if self.cum_ack >= self.total_packets:
             self._complete()
             return

@@ -10,10 +10,10 @@ share senders-free proxy candidates.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from repro.errors import WorkloadError
+from repro.sim.rng import derive_stream
 from repro.workloads.incast import IncastJob
 
 
@@ -76,7 +76,7 @@ def periodic_incasts(
 
 def poisson_incasts(cfg: ArrivalConfig) -> list[IncastJob]:
     """Generate the arrival stream, ordered by start time."""
-    rng = random.Random(cfg.seed)
+    rng = derive_stream(cfg.seed, "workload:poisson")
     jobs: list[IncastJob] = []
     now = 0
     for index in range(cfg.jobs):

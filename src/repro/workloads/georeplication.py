@@ -8,10 +8,10 @@ degree is the number of shards flushing in the same epoch.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from repro.errors import WorkloadError
+from repro.sim.rng import derive_stream
 from repro.workloads.incast import IncastJob
 
 
@@ -38,7 +38,7 @@ class QuorumConfig:
 def quorum_write_jobs(cfg: QuorumConfig) -> list[IncastJob]:
     """One incast per epoch: every shard flushes a jittered batch to the
     remote replica leader."""
-    rng = random.Random(cfg.seed)
+    rng = derive_stream(cfg.seed, "workload:quorum")
     jobs: list[IncastJob] = []
     for epoch in range(cfg.epochs):
         sizes = tuple(

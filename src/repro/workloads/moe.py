@@ -13,10 +13,10 @@ remote expert per training step.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from repro.errors import WorkloadError
+from repro.sim.rng import derive_stream
 from repro.workloads.incast import IncastJob
 
 
@@ -53,7 +53,7 @@ def moe_combine_jobs(cfg: MoEConfig) -> list[IncastJob]:
     becomes an incast receiver fed by all experts.  Run these with the
     orchestration runner's ``reverse=True`` (experts live in the remote
     datacenter)."""
-    rng = random.Random(cfg.seed)
+    rng = derive_stream(cfg.seed, "workload:moe-combine")
     weights = _expert_weights(cfg)
     jobs: list[IncastJob] = []
     for step in range(cfg.steps):
@@ -88,7 +88,7 @@ def moe_combine_jobs(cfg: MoEConfig) -> list[IncastJob]:
 def moe_dispatch_jobs(cfg: MoEConfig) -> list[IncastJob]:
     """One dispatch phase's incasts: job ``step<i>/expert<e>`` aggregates the
     token bytes every sender routes to expert ``e`` in step ``i``."""
-    rng = random.Random(cfg.seed)
+    rng = derive_stream(cfg.seed, "workload:moe-dispatch")
     weights = _expert_weights(cfg)
     jobs: list[IncastJob] = []
     for step in range(cfg.steps):

@@ -9,10 +9,10 @@ long-haul links.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 
 from repro.errors import WorkloadError
+from repro.sim.rng import derive_stream
 from repro.workloads.incast import IncastJob
 
 
@@ -39,7 +39,7 @@ class ReconstructionConfig:
 def reconstruction_jobs(cfg: ReconstructionConfig) -> list[IncastJob]:
     """One incast per reconstruction: ``k`` random stripe servers send one
     fragment each to the reconstructing orchestrator node."""
-    rng = random.Random(cfg.seed)
+    rng = derive_stream(cfg.seed, "workload:reconstruct")
     jobs: list[IncastJob] = []
     for i in range(cfg.reconstructions):
         stripe = tuple(sorted(rng.sample(range(cfg.servers), cfg.data_fragments)))
