@@ -38,10 +38,16 @@ from repro.experiments.runner import SCHEMES, IncastResult, IncastScenario, run_
 from repro.experiments.sweeps import degree_sweep, latency_sweep, size_sweep
 from repro.net.network import Network
 from repro.sim.simulator import Simulator
+from repro.telemetry import (
+    RunOptions,
+    SweepTelemetry,
+    TelemetryRecorder,
+    TelemetrySnapshot,
+)
 from repro.topology.interdc import build_interdc
 from repro.transport.connection import Connection
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Connection",
@@ -53,8 +59,12 @@ __all__ = [
     "Network",
     "QueueSpec",
     "ResultCache",
+    "RunOptions",
     "SCHEMES",
     "Simulator",
+    "SweepTelemetry",
+    "TelemetryRecorder",
+    "TelemetrySnapshot",
     "TransportConfig",
     "__version__",
     "build_interdc",

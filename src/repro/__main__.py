@@ -11,21 +11,127 @@ Commands:
 * ``lint``     — the determinism linter over ``src`` and ``benchmarks``
   (see ``python -m repro lint --help``); exits non-zero on violations.
 
-Global simulation-execution flags (also accepted by ``figures``):
+``python -m repro --version`` prints the library version.
 
-* ``--workers N``  — fan independent runs over N simulation processes
-  (0 = one per CPU; default 1 = serial);
-* ``--no-cache``   — always re-simulate instead of reusing the on-disk
-  sweep result cache.
+The simulation-execution flags are shared: :func:`common_parser` is the
+argparse *parent* parser every sweep-running subcommand (``quickstart``,
+``figures``, ``faults``) builds on, so ``--workers`` / ``--no-cache`` /
+``--cache-dir`` / ``--run-timeout`` / ``--sanitize`` / ``--seed`` and the
+telemetry flags (``--telemetry`` / ``--telemetry-dir`` /
+``--sample-interval``) are spelled and documented identically everywhere.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
+
+#: Where ``--telemetry`` writes its JSON/CSV unless ``--telemetry-dir``
+#: points elsewhere.
+DEFAULT_TELEMETRY_DIR = Path("results/telemetry")
 
 
-def _quickstart(workers: int, no_cache: bool, sanitize: bool = False) -> None:
+def common_parser() -> argparse.ArgumentParser:
+    """The shared parent parser for every sweep-running subcommand.
+
+    Use as ``argparse.ArgumentParser(parents=[common_parser()], ...)``;
+    validate the result with :func:`check_common_args`.
+    """
+    parser = argparse.ArgumentParser(add_help=False)
+    execution = parser.add_argument_group("execution")
+    execution.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="simulation processes to fan runs over (0 = one per CPU; "
+             "default serial)",
+    )
+    execution.add_argument(
+        "--no-cache", action="store_true",
+        help="always re-simulate; skip the on-disk sweep result cache",
+    )
+    execution.add_argument(
+        "--cache-dir", type=Path, default=None, metavar="DIR",
+        help="sweep result cache location (default results/.sweep-cache)",
+    )
+    execution.add_argument(
+        "--run-timeout", type=float, default=None, metavar="S",
+        help="per-run wall-clock deadline in seconds (overruns are quarantined)",
+    )
+    execution.add_argument(
+        "--sanitize", action="store_true",
+        help="run every simulation under the invariant sanitizer "
+             "(packet/byte conservation, queue bounds; bypasses the cache)",
+    )
+    execution.add_argument(
+        "--seed", type=int, default=0, metavar="N",
+        help="base seed: repetition r of a sweep point runs with seed N+r "
+             "(default 0)",
+    )
+    telemetry = parser.add_argument_group("telemetry")
+    telemetry.add_argument(
+        "--telemetry", action="store_true",
+        help="record per-run time-series/profiles and sweep-level progress "
+             "and cache accounting; exports versioned JSON + CSV "
+             "(bypasses the result cache; simulation results are unchanged)",
+    )
+    telemetry.add_argument(
+        "--telemetry-dir", type=Path, default=DEFAULT_TELEMETRY_DIR,
+        metavar="DIR",
+        help=f"where --telemetry writes telemetry.json and "
+             f"telemetry_runs.csv (default {DEFAULT_TELEMETRY_DIR})",
+    )
+    telemetry.add_argument(
+        "--sample-interval", type=float, default=10.0, metavar="US",
+        help="telemetry sampling cadence in microseconds of simulated time "
+             "(default 10)",
+    )
+    return parser
+
+
+def check_common_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Validate the shared flags; calls ``parser.error`` on bad values."""
+    if args.workers < 0:
+        parser.error(f"--workers must be non-negative, got {args.workers}")
+    if args.run_timeout is not None and args.run_timeout <= 0:
+        parser.error(f"--run-timeout must be positive, got {args.run_timeout}")
+    if args.sample_interval <= 0:
+        parser.error(
+            f"--sample-interval must be positive, got {args.sample_interval}"
+        )
+
+
+def options_from_args(args: argparse.Namespace):
+    """Build the :class:`~repro.telemetry.RunOptions` the shared flags ask for."""
+    from repro.telemetry import RunOptions
+
+    return RunOptions(
+        sanitize=args.sanitize,
+        telemetry=args.telemetry,
+        sample_interval_ps=max(1, int(round(args.sample_interval * 1_000_000))),
+    )
+
+
+def telemetry_from_args(args: argparse.Namespace):
+    """A :class:`~repro.telemetry.SweepTelemetry` sink, or None without
+    ``--telemetry``."""
+    if not args.telemetry:
+        return None
+    from repro.telemetry import SweepTelemetry
+
+    return SweepTelemetry()
+
+
+def export_telemetry(args: argparse.Namespace, engine) -> None:
+    """Write the engine's sweep telemetry next to the other outputs."""
+    if engine.telemetry is None:
+        return
+    json_path, csv_path = engine.telemetry.write(args.telemetry_dir, engine.stats)
+    print(f"telemetry exported: {json_path} {csv_path}")
+
+
+def _quickstart(args: argparse.Namespace) -> None:
     from dataclasses import replace
 
     from repro.config import TransportConfig, small_interdc_config
@@ -38,12 +144,18 @@ def _quickstart(workers: int, no_cache: bool, sanitize: bool = False) -> None:
         total_bytes=megabytes(40),
         interdc=small_interdc_config(),
         transport=TransportConfig(payload_bytes=4096),
+        seed=args.seed,
     )
-    engine = build_engine(workers, no_cache, sanitize=sanitize)
+    engine = build_engine(
+        args.workers, args.no_cache, args.cache_dir,
+        run_timeout_s=args.run_timeout,
+        options=options_from_args(args),
+        telemetry=telemetry_from_args(args),
+    )
     results = engine.run_incasts(
         [replace(scenario, scheme=scheme) for scheme in SCHEMES]
     )
-    if sanitize:
+    if args.sanitize:
         print(f"{'scheme':<14} {'ICT':>12} {'conservation':>16}")
         for scheme, result in zip(SCHEMES, results):
             tally = result.conservation or {}
@@ -53,11 +165,32 @@ def _quickstart(workers: int, no_cache: bool, sanitize: bool = False) -> None:
         print(f"{'scheme':<14} {'ICT':>12}")
         for scheme, result in zip(SCHEMES, results):
             print(f"{scheme:<14} {format_duration(result.ict_ps):>12}")
+    if args.telemetry:
+        for result in results:
+            snap = result.telemetry
+            if snap is None:
+                continue
+            queue = snap.get("net.queue_bytes")
+            peak = queue.max_value() if queue is not None else 0.0
+            profile = snap.profile
+            print(
+                f"[telemetry] {result.scenario.scheme}: "
+                f"{profile.events_executed} events "
+                f"({profile.events_per_second:,.0f}/s), "
+                f"peak net queue {peak:,.0f}B, "
+                f"rss {profile.peak_rss_kb} kB"
+            )
+        export_telemetry(args, engine)
 
 
 def main(argv: list[str] | None = None) -> None:
     """Dispatch to a subcommand."""
     args = list(sys.argv[1:] if argv is None else argv)
+    if args and args[0] in ("--version", "-V"):
+        from repro import __version__
+
+        print(f"repro {__version__}")
+        return
     command = args.pop(0) if args and not args[0].startswith("-") else "quickstart"
     if command == "figures":
         from repro.experiments.figures import main as figures_main
@@ -79,24 +212,11 @@ def main(argv: list[str] | None = None) -> None:
         parser = argparse.ArgumentParser(
             prog="python -m repro quickstart",
             description="the headline four-scheme comparison",
-        )
-        parser.add_argument(
-            "--workers", type=int, default=1, metavar="N",
-            help="simulation processes (0 = one per CPU; default serial)",
-        )
-        parser.add_argument(
-            "--no-cache", action="store_true",
-            help="always re-simulate; skip the on-disk result cache",
-        )
-        parser.add_argument(
-            "--sanitize", action="store_true",
-            help="run under the invariant sanitizer (packet/byte "
-                 "conservation; bypasses the cache)",
+            parents=[common_parser()],
         )
         opts = parser.parse_args(args)
-        if opts.workers < 0:
-            parser.error(f"--workers must be non-negative, got {opts.workers}")
-        _quickstart(opts.workers, opts.no_cache, opts.sanitize)
+        check_common_args(parser, opts)
+        _quickstart(opts)
     else:
         print(f"unknown command {command!r}; "
               "try: figures, verdicts, quickstart, faults, lint",

@@ -129,7 +129,11 @@ class WallClockRule(LintRule):
 
     name = "wall-clock"
     summary = "time.time()/datetime.now()/sleep inside sim code"
-    excluded_prefixes = ("src/repro/experiments/", "benchmarks/")
+    # repro/telemetry is the run profiler: wall-clock measurement is its
+    # job, and its output feeds no simulated decision.
+    excluded_prefixes = (
+        "src/repro/experiments/", "src/repro/telemetry/", "benchmarks/",
+    )
 
     _TIME_FUNCS = frozenset({
         "time", "time_ns", "monotonic", "monotonic_ns",

@@ -85,6 +85,7 @@ def blackhole_rate_sweep(
     engine: ExperimentEngine | None = None,
     workers: int | None = 1,
     cache: ResultCache | None = None,
+    seed0: int = 0,
 ) -> list[SweepPoint]:
     """ICT vs silent-drop fraction on ``target`` for every scheme."""
     base = base or fault_base_scenario()
@@ -100,7 +101,7 @@ def blackhole_rate_sweep(
         points.append(
             (float(rate), f"drop={rate * 100:g}%", replace(base, faults=plan))
         )
-    return _sweep(base, points, schemes, reps, engine, workers, cache)
+    return _sweep(base, points, schemes, reps, engine, workers, cache, seed0)
 
 
 def proxy_crash_sweep(
@@ -112,6 +113,7 @@ def proxy_crash_sweep(
     engine: ExperimentEngine | None = None,
     workers: int | None = 1,
     cache: ResultCache | None = None,
+    seed0: int = 0,
 ) -> list[SweepPoint]:
     """ICT vs crash time of the primary proxy for every scheme.
 
@@ -127,7 +129,7 @@ def proxy_crash_sweep(
         )
         for t in crash_times_ps
     ]
-    return _sweep(base, points, schemes, reps, engine, workers, cache)
+    return _sweep(base, points, schemes, reps, engine, workers, cache, seed0)
 
 
 def fault_plan_sweep(
@@ -140,13 +142,14 @@ def fault_plan_sweep(
     engine: ExperimentEngine | None = None,
     workers: int | None = 1,
     cache: ResultCache | None = None,
+    seed0: int = 0,
 ) -> list[SweepPoint]:
     """Run one user-supplied fault plan across every scheme (one point)."""
     if not isinstance(plan, FaultPlan):
         raise ExperimentError(f"expected a FaultPlan, got {type(plan).__name__}")
     base = base or fault_base_scenario()
     points = [(0.0, label, replace(base, faults=plan))]
-    return _sweep(base, points, schemes, reps, engine, workers, cache)
+    return _sweep(base, points, schemes, reps, engine, workers, cache, seed0)
 
 
 # ---------------------------------------------------------------------------
@@ -211,11 +214,19 @@ def _smoke(engine: ExperimentEngine, run_timeout: float | None) -> None:
 
 def main(argv: Sequence[str] | None = None) -> None:
     """CLI entry point for the fault sweeps."""
+    from repro.__main__ import (
+        check_common_args,
+        common_parser,
+        export_telemetry,
+        options_from_args,
+        telemetry_from_args,
+    )
     from repro.experiments.figures import build_engine
 
     parser = argparse.ArgumentParser(
         prog="python -m repro faults",
         description="fault-injection sweeps: ICT vs fault severity per scheme",
+        parents=[common_parser()],
     )
     parser.add_argument(
         "--fault-plan", type=Path, default=None, metavar="FILE",
@@ -224,22 +235,6 @@ def main(argv: Sequence[str] | None = None) -> None:
     parser.add_argument(
         "--reps", type=int, default=3, help="repetitions per sweep point")
     parser.add_argument(
-        "--run-timeout", type=float, default=None, metavar="S",
-        help="per-run wall-clock deadline in seconds (overruns are quarantined)",
-    )
-    parser.add_argument(
-        "--workers", type=int, default=1, metavar="N",
-        help="simulation processes (0 = one per CPU; default serial)",
-    )
-    parser.add_argument(
-        "--no-cache", action="store_true",
-        help="always re-simulate; skip the on-disk sweep result cache",
-    )
-    parser.add_argument(
-        "--cache-dir", type=Path, default=None, metavar="DIR",
-        help="sweep result cache location",
-    )
-    parser.add_argument(
         "--export", type=Path, default=None, metavar="DIR",
         help="also write each sweep's data as CSV into DIR",
     )
@@ -247,22 +242,16 @@ def main(argv: Sequence[str] | None = None) -> None:
         "--smoke", action="store_true",
         help="tiny deterministic sweep + engine quarantine check (CI)",
     )
-    parser.add_argument(
-        "--sanitize", action="store_true",
-        help="run every simulation under the invariant sanitizer "
-             "(packet/byte conservation, queue bounds; bypasses the cache)",
-    )
     args = parser.parse_args(argv)
-    if args.workers < 0:
-        parser.error(f"--workers must be non-negative, got {args.workers}")
+    check_common_args(parser, args)
     if args.reps < 1:
         parser.error(f"--reps must be at least 1, got {args.reps}")
-    if args.run_timeout is not None and args.run_timeout <= 0:
-        parser.error(f"--run-timeout must be positive, got {args.run_timeout}")
 
     engine = build_engine(
         args.workers, args.no_cache, args.cache_dir,
-        run_timeout_s=args.run_timeout, sanitize=args.sanitize,
+        run_timeout_s=args.run_timeout,
+        options=options_from_args(args),
+        telemetry=telemetry_from_args(args),
     )
 
     if args.smoke:
@@ -273,18 +262,20 @@ def main(argv: Sequence[str] | None = None) -> None:
         except OSError as exc:
             parser.error(f"cannot read {args.fault_plan}: {exc}")
         points = fault_plan_sweep(
-            plan, reps=args.reps, label=args.fault_plan.stem, engine=engine
+            plan, reps=args.reps, label=args.fault_plan.stem, engine=engine,
+            seed0=args.seed,
         )
         _print_points(f"Fault plan {args.fault_plan.name}", points,
                       FAULT_SCHEMES, args.export)
         print(f"sweep_digest: {sweep_digest(points)}")
     else:
-        bh = blackhole_rate_sweep(reps=args.reps, engine=engine)
+        bh = blackhole_rate_sweep(reps=args.reps, engine=engine, seed0=args.seed)
         _print_points("Blackhole rate sweep", bh, FAULT_SCHEMES, args.export)
-        cr = proxy_crash_sweep(reps=args.reps, engine=engine)
+        cr = proxy_crash_sweep(reps=args.reps, engine=engine, seed0=args.seed)
         _print_points("Proxy crash sweep", cr, FAULT_SCHEMES, args.export)
         print(f"sweep_digest: {sweep_digest(bh + cr)}")
 
+    export_telemetry(args, engine)
     stats = engine.stats
     if stats.tasks:
         print(

@@ -12,7 +12,7 @@ from __future__ import annotations
 import argparse
 from dataclasses import replace
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.config import TransportConfig
 from repro.experiments.parallel import (
@@ -32,6 +32,9 @@ from repro.hoststack import (
 )
 from repro.units import megabytes, microseconds, milliseconds
 
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import RunOptions, SweepTelemetry
+
 SCHEMES = ("baseline", "naive", "streamlined")
 
 #: Paper anchor numbers, quoted in the printed reports.
@@ -50,12 +53,13 @@ def figure2_left(
     reps: int | None = None,
     *,
     engine: ExperimentEngine | None = None,
+    seed0: int = 0,
 ) -> list[SweepPoint]:
     """Fig. 2 (Left): ICT vs incast degree at fixed 100 MB total."""
     scenario = _base_scenario(full)
     degrees = (2, 4, 8, 16, 32, 60) if full else (2, 4, 8)
     return degree_sweep(scenario, degrees, SCHEMES, reps=_reps(full, reps),
-                        engine=engine)
+                        engine=engine, seed0=seed0)
 
 
 def figure2_right(
@@ -63,6 +67,7 @@ def figure2_right(
     reps: int | None = None,
     *,
     engine: ExperimentEngine | None = None,
+    seed0: int = 0,
 ) -> list[SweepPoint]:
     """Fig. 2 (Right): ICT vs incast size at fixed degree 4."""
     scenario = _base_scenario(full)
@@ -72,7 +77,7 @@ def figure2_right(
         else (megabytes(10), megabytes(20), megabytes(50))
     )
     return size_sweep(scenario, sizes, SCHEMES, reps=_reps(full, reps),
-                      engine=engine)
+                      engine=engine, seed0=seed0)
 
 
 def figure3(
@@ -80,6 +85,7 @@ def figure3(
     reps: int | None = None,
     *,
     engine: ExperimentEngine | None = None,
+    seed0: int = 0,
 ) -> list[SweepPoint]:
     """Fig. 3: ICT vs long-haul link latency at degree 4, 100 MB."""
     scenario = _base_scenario(full)
@@ -90,7 +96,7 @@ def figure3(
         else (microseconds(10), microseconds(100), milliseconds(1))
     )
     return latency_sweep(scenario, delays, SCHEMES, reps=_reps(full, reps),
-                         engine=engine)
+                         engine=engine, seed0=seed0)
 
 
 def figure4(packets: int = 100_000, seed: int = 0) -> str:
@@ -165,6 +171,9 @@ def build_engine(
     cache_dir: Path | None = None,
     run_timeout_s: float | None = None,
     sanitize: bool = False,
+    *,
+    options: "RunOptions | None" = None,
+    telemetry: "SweepTelemetry | None" = None,
 ) -> ExperimentEngine:
     """The engine the figure drivers share, honoring the CLI cache flags."""
     cache = None if no_cache else ResultCache(cache_dir or DEFAULT_CACHE_DIR)
@@ -174,12 +183,24 @@ def build_engine(
         on_fallback=lambda reason: print(f"[parallel] {reason}"),
         run_timeout_s=run_timeout_s,
         sanitize=sanitize,
+        options=options,
+        telemetry=telemetry,
     )
 
 
 def main(argv: Sequence[str] | None = None) -> None:
     """CLI entry point."""
-    parser = argparse.ArgumentParser(description=__doc__)
+    from repro.__main__ import (
+        check_common_args,
+        common_parser,
+        export_telemetry,
+        options_from_args,
+        telemetry_from_args,
+    )
+
+    parser = argparse.ArgumentParser(
+        description=__doc__, parents=[common_parser()]
+    )
     parser.add_argument("--full", action="store_true", help="paper-scale parameters")
     parser.add_argument("--reps", type=int, default=None, help="repetitions per point")
     parser.add_argument(
@@ -193,51 +214,33 @@ def main(argv: Sequence[str] | None = None) -> None:
         "--export", type=Path, default=None, metavar="DIR",
         help="also write each figure's data as CSV into DIR",
     )
-    parser.add_argument(
-        "--workers", type=int, default=1, metavar="N",
-        help="simulation processes to fan sweep points over (0 = one per CPU)",
-    )
-    parser.add_argument(
-        "--no-cache", action="store_true",
-        help="always re-simulate; skip the on-disk sweep result cache",
-    )
-    parser.add_argument(
-        "--cache-dir", type=Path, default=None, metavar="DIR",
-        help=f"sweep result cache location (default {DEFAULT_CACHE_DIR})",
-    )
-    parser.add_argument(
-        "--run-timeout", type=float, default=None, metavar="S",
-        help="per-run wall-clock deadline in seconds (overruns are quarantined)",
-    )
-    parser.add_argument(
-        "--sanitize", action="store_true",
-        help="run every simulation under the invariant sanitizer "
-             "(packet/byte conservation, queue bounds; bypasses the cache)",
-    )
     args = parser.parse_args(argv)
-    if args.workers < 0:
-        parser.error(f"--workers must be non-negative, got {args.workers}")
-    if args.run_timeout is not None and args.run_timeout <= 0:
-        parser.error(f"--run-timeout must be positive, got {args.run_timeout}")
+    check_common_args(parser, args)
     wanted = set(args.only) if args.only else {"fig2l", "fig2r", "fig3", "fig4", "fig5"}
     engine = build_engine(args.workers, args.no_cache, args.cache_dir,
-                          run_timeout_s=args.run_timeout, sanitize=args.sanitize)
+                          run_timeout_s=args.run_timeout,
+                          options=options_from_args(args),
+                          telemetry=telemetry_from_args(args))
 
     if "fig2l" in wanted:
         _print_sweep("Figure 2 (Left)",
-                     figure2_left(args.full, args.reps, engine=engine), args.export)
+                     figure2_left(args.full, args.reps, engine=engine,
+                                  seed0=args.seed), args.export)
     if "fig2r" in wanted:
         _print_sweep("Figure 2 (Right)",
-                     figure2_right(args.full, args.reps, engine=engine), args.export)
+                     figure2_right(args.full, args.reps, engine=engine,
+                                   seed0=args.seed), args.export)
     if "fig3" in wanted:
         _print_sweep("Figure 3",
-                     figure3(args.full, args.reps, engine=engine), args.export)
+                     figure3(args.full, args.reps, engine=engine,
+                             seed0=args.seed), args.export)
     if "fig4" in wanted:
         print(f"\n(paper: {PAPER_ANCHORS['fig4']})")
-        print(figure4())
+        print(figure4(seed=args.seed))
     if "fig5" in wanted:
         print(f"\n(paper: {PAPER_ANCHORS['fig5a']}; {PAPER_ANCHORS['fig5b']})")
-        print(figure5())
+        print(figure5(seed=args.seed))
+    export_telemetry(args, engine)
     stats = engine.stats
     if stats.tasks:
         line = (

@@ -53,6 +53,8 @@ from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ExperimentError
 from repro.experiments.runner import IncastResult, IncastScenario, run_incast
+from repro.telemetry.options import RunOptions
+from repro.telemetry.sweep import SweepTelemetry
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -61,7 +63,8 @@ R = TypeVar("R")
 #: v2: IncastResult gained fault/failure fields; IncastScenario gained
 #: faults/failover.
 #: v3: IncastResult gained the conservation tally (--sanitize).
-CACHE_SCHEMA_VERSION = 3
+#: v4: IncastResult gained the telemetry snapshot (repro.telemetry).
+CACHE_SCHEMA_VERSION = 4
 
 #: Default on-disk cache location (override with $REPRO_CACHE_DIR).
 DEFAULT_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", "results/.sweep-cache"))
@@ -397,6 +400,7 @@ def run_parallel_guarded(
     max_attempts: int = 2,
     backoff_s: float = 0.05,
     on_fallback: Callable[[str], None] | None = None,
+    on_progress: Callable[[int, int], None] | None = None,
 ) -> list[tuple[str, Any, int, float]]:
     """Guarded fan-out: one ``(status, payload, attempts, elapsed)`` per item.
 
@@ -406,6 +410,10 @@ def run_parallel_guarded(
     took down with it are re-run in fresh isolation pools — so a segfault
     in item 3 still yields results for items 0–2 and 4–N.
 
+    ``on_progress(done, total)`` is invoked as runs finish (from a pool
+    callback thread when running parallel) — a heartbeat hook, not part of
+    the deterministic result path.
+
     In the serial fallback (no usable pool) exceptions and timeouts are
     still guarded, but a hard crash cannot be contained — there is no
     process boundary to die behind.
@@ -413,16 +421,37 @@ def run_parallel_guarded(
     items = list(items)
     workers = resolve_workers(workers)
     task = _GuardedTask(fn, timeout_s, max_attempts, backoff_s)
-    effective = min(workers, len(items))
+    total = len(items)
+
+    def _serial() -> list[tuple[str, Any, int, float]]:
+        results = []
+        for i, item in enumerate(items):
+            results.append(task(item))
+            if on_progress is not None:
+                on_progress(i + 1, total)
+        return results
+
+    effective = min(workers, total)
     if effective <= 1:
-        return [task(item) for item in items]
+        return _serial()
     if not _all_picklable([fn]) or not _all_picklable(items):
         if on_fallback is not None:
             on_fallback("work items are not picklable; running serially")
-        return [task(item) for item in items]
+        return _serial()
 
     from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
+
+    done_count = [0]
+    done_lock = threading.Lock()
+
+    def _tick_progress(_future: Any) -> None:
+        if on_progress is None:
+            return
+        with done_lock:
+            done_count[0] += 1
+            done = done_count[0]
+        on_progress(done, total)
 
     results: list[tuple[str, Any, int, float] | None] = [None] * len(items)
     crashed: list[int] = []
@@ -433,7 +462,9 @@ def run_parallel_guarded(
             futures = []
             try:
                 for item in items:
-                    futures.append(pool.submit(task, item))
+                    future = pool.submit(task, item)
+                    future.add_done_callback(_tick_progress)
+                    futures.append(future)
             except BrokenProcessPool:
                 pass  # unsubmitted items go straight to isolation below
             for i, future in enumerate(futures):
@@ -449,7 +480,7 @@ def run_parallel_guarded(
     except (OSError, ImportError, PermissionError) as exc:
         if on_fallback is not None:
             on_fallback(f"process pool unavailable ({exc}); running serially")
-        return [task(item) for item in items]
+        return _serial()
 
     for i in crashed:
         results[i] = _run_isolated(task, items[i])
@@ -499,6 +530,8 @@ class ExperimentEngine:
         max_attempts: int = 2,
         retry_backoff_s: float = 0.05,
         sanitize: bool = False,
+        options: RunOptions | None = None,
+        telemetry: SweepTelemetry | None = None,
     ) -> None:
         if run_timeout_s is not None and run_timeout_s <= 0:
             raise ExperimentError(
@@ -512,16 +545,28 @@ class ExperimentEngine:
             )
         self.workers = resolve_workers(workers)
         self.cache = cache
-        #: run every incast under the invariant sanitizer.  Sanitized runs
-        #: bypass the cache in both directions: a cached result proves
-        #: nothing about invariants, and a sanitized result carries a
-        #: conservation tally a plain run would not reproduce.
-        self.sanitize = sanitize
+        #: the per-run execution options every incast is run under.  Runs
+        #: whose options bypass the cache (sanitize, telemetry, tracer,
+        #: custom instrumentation) skip it in both directions: a cached
+        #: result proves nothing about invariants and carries no snapshot,
+        #: and an instrumented result is not interchangeable with a plain
+        #: one.  The legacy ``sanitize=True`` kwarg folds into ``options``.
+        self.options = options if options is not None else RunOptions()
+        if sanitize:
+            self.options = dataclasses.replace(self.options, sanitize=True)
+        #: sweep-level telemetry sink (heartbeats + per-run records);
+        #: None means no sweep accounting beyond ``stats``.
+        self.telemetry = telemetry
         self.on_fallback = on_fallback
         self.run_timeout_s = run_timeout_s
         self.max_attempts = max_attempts
         self.retry_backoff_s = retry_backoff_s
         self.stats = ExecutionStats(workers=self.workers)
+
+    @property
+    def sanitize(self) -> bool:
+        """True when every run executes under the invariant sanitizer."""
+        return self.options.sanitize
 
     # -- generic fan-out -----------------------------------------------------
 
@@ -574,24 +619,31 @@ class ExperimentEngine:
                 cached.from_cache = True
                 results[i] = cached
                 self.stats.cache_hits += 1
+                if self.telemetry is not None:
+                    self.telemetry.record(scenario, "cached", 0, 0.0)
             else:
                 misses.append((i, scenario))
 
         if misses:
             fresh = run_parallel_guarded(
-                _run_incast_sanitized if self.sanitize else run_incast,
+                _RunTask(self.options),
                 [scenario for _, scenario in misses],
                 workers=self.workers,
                 timeout_s=self.run_timeout_s,
                 max_attempts=self.max_attempts,
                 backoff_s=self.retry_backoff_s,
                 on_fallback=self.on_fallback,
+                on_progress=(
+                    self.telemetry.on_progress if self.telemetry is not None else None
+                ),
             )
             for (i, scenario), (status, payload, attempts, elapsed) in zip(
                 misses, fresh
             ):
                 self.stats.cache_misses += 1
                 self.stats.retries += attempts - 1
+                if self.telemetry is not None:
+                    self.telemetry.record(scenario, status, attempts, elapsed)
                 if status == "ok":
                     results[i] = payload
                     self.stats.sim_wall_seconds += payload.wall_seconds
@@ -611,7 +663,7 @@ class ExperimentEngine:
         return [r for r in results if r is not None]
 
     def _lookup(self, scenario: IncastScenario) -> IncastResult | None:
-        if self.cache is None or self.sanitize:
+        if self.cache is None or self.options.bypasses_cache:
             return None
         try:
             key = scenario_key(scenario)
@@ -621,7 +673,7 @@ class ExperimentEngine:
         return value if isinstance(value, IncastResult) else None
 
     def _store(self, scenario: IncastScenario, result: IncastResult) -> None:
-        if self.cache is None or self.sanitize:
+        if self.cache is None or self.options.bypasses_cache:
             return
         try:
             key = scenario_key(scenario)
@@ -633,9 +685,19 @@ class ExperimentEngine:
             pass
 
 
+class _RunTask:
+    """Picklable ``run_incast`` closure carrying the engine's run options."""
+
+    def __init__(self, options: RunOptions) -> None:
+        self.options = options
+
+    def __call__(self, scenario: IncastScenario) -> IncastResult:
+        return run_incast(scenario, options=self.options)
+
+
 def _run_incast_sanitized(scenario: IncastScenario) -> IncastResult:
     """Module-level (hence picklable) sanitized run for the worker pool."""
-    return run_incast(scenario, sanitize=True)
+    return run_incast(scenario, options=RunOptions(sanitize=True))
 
 
 def run_incast_batch(

@@ -30,7 +30,8 @@ either completed or failed.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 from repro.analysis.sanitizer import Sanitizer
@@ -46,6 +47,8 @@ from repro.proxy.placement import pick_proxy_host, pick_senders
 from repro.proxy.streamlined import StreamlinedProxy
 from repro.proxy.trimless import TrimlessStreamlinedProxy
 from repro.sim.simulator import Simulator
+from repro.telemetry.options import RunOptions
+from repro.telemetry.recorder import TelemetrySnapshot
 from repro.topology.interdc import build_interdc
 from repro.transport.connection import Connection
 from repro.units import megabytes, seconds
@@ -141,6 +144,9 @@ class IncastResult:
     #: end-of-run packet/byte conservation tally when the run executed with
     #: ``sanitize=True`` (see repro.analysis.sanitizer); None otherwise.
     conservation: dict[str, int] | None = None
+    #: sampled time-series + run profile when the run executed with
+    #: telemetry enabled (see repro.telemetry); None otherwise.
+    telemetry: TelemetrySnapshot | None = None
 
     @property
     def ict_ms(self) -> float:
@@ -173,17 +179,48 @@ def _start_background(sim, topo, scenario: IncastScenario, busy_hosts: set[int])
         ).start()
 
 
-def run_incast(scenario: IncastScenario, *, sanitize: bool = False) -> IncastResult:
+def run_incast(
+    scenario: IncastScenario,
+    options: RunOptions | None = None,
+    *,
+    sanitize: bool | None = None,
+) -> IncastResult:
     """Execute ``scenario`` and return its measurements.
 
-    With ``sanitize=True`` a :class:`~repro.analysis.sanitizer.Sanitizer`
-    is installed before the network is built: invariants are checked
-    throughout the run, exact packet/byte conservation is verified at the
-    end, and the tally lands in ``IncastResult.conservation``.
+    Execution knobs travel in ``options`` (a frozen
+    :class:`~repro.telemetry.options.RunOptions`):
+
+    * ``options.sanitize`` installs a
+      :class:`~repro.analysis.sanitizer.Sanitizer` before the network is
+      built; invariants are checked throughout the run, exact packet/byte
+      conservation is verified at the end, and the tally lands in
+      ``IncastResult.conservation``.
+    * ``options.telemetry`` (or an explicit ``options.instrumentation``)
+      records sampled time-series and a run profile into
+      ``IncastResult.telemetry`` without perturbing simulation results.
+    * ``options.tracer`` streams structured trace records.
+
+    The legacy ``sanitize=`` keyword still works but emits a
+    ``DeprecationWarning``; pass ``options=RunOptions(sanitize=True)``.
     """
+    if sanitize is not None:
+        warnings.warn(
+            "run_incast(..., sanitize=...) is deprecated; pass "
+            "options=RunOptions(sanitize=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        options = replace(options if options is not None else RunOptions(),
+                          sanitize=sanitize)
+    if options is None:
+        options = RunOptions()
     wall_start = time.perf_counter()
-    sim = Simulator(seed=scenario.seed)
-    sanitizer = Sanitizer().install(sim) if sanitize else None
+    inst = options.build_instrumentation()
+    sim = Simulator(
+        seed=scenario.seed, tracer=options.tracer, instrumentation=inst
+    )
+    inst.phase("build")
+    sanitizer = Sanitizer().install(sim) if options.sanitize else None
     trimming = scenario.scheme in _TRIMMING_SCHEMES
     topo = build_interdc(
         sim, scenario.interdc.with_trimming(trimming), routing=scenario.routing
@@ -311,7 +348,10 @@ def run_incast(scenario: IncastScenario, *, sanitize: bool = False) -> IncastRes
         ),
     )
 
+    inst.phase("run")
+    inst.begin_run(sim)
     sim.run(until=scenario.horizon_ps)
+    inst.phase("collect")
     completed = all(state == "done" for state in outcome)
     failed_flows = sum(1 for state in outcome if state == "failed")
     ict = max(completions) if completions and completed else scenario.horizon_ps
@@ -338,5 +378,6 @@ def run_incast(scenario: IncastScenario, *, sanitize: bool = False) -> IncastRes
         fault_events_skipped=injector.skipped if injector is not None else 0,
         failovers=manager.failovers if manager is not None else 0,
         conservation=conservation,
+        telemetry=inst.finish(),
     )
     return result

@@ -135,6 +135,7 @@ def _sweep(
     engine: ExperimentEngine | None = None,
     workers: int | None = 1,
     cache: ResultCache | None = None,
+    seed0: int = 0,
 ) -> list[SweepPoint]:
     if reps < 1:
         raise ExperimentError("reps must be at least 1")
@@ -144,7 +145,7 @@ def _sweep(
     # Flatten the whole grid into one batch so the pool sees maximum
     # parallelism, then slice results back in the same deterministic order.
     grid = [
-        replace(scenario, scheme=scheme, seed=rep)
+        replace(scenario, scheme=scheme, seed=seed0 + rep)
         for _, _, scenario in points
         for scheme in schemes
         for rep in range(reps)
@@ -201,12 +202,13 @@ def degree_sweep(
     engine: ExperimentEngine | None = None,
     workers: int | None = 1,
     cache: ResultCache | None = None,
+    seed0: int = 0,
 ) -> list[SweepPoint]:
     """Figure 2 (Left): fixed total size, varying incast degree."""
     points = (
         (float(d), f"degree={d}", replace(base, degree=d)) for d in degrees
     )
-    return _sweep(base, points, schemes, reps, engine, workers, cache)
+    return _sweep(base, points, schemes, reps, engine, workers, cache, seed0)
 
 
 def size_sweep(
@@ -218,13 +220,14 @@ def size_sweep(
     engine: ExperimentEngine | None = None,
     workers: int | None = 1,
     cache: ResultCache | None = None,
+    seed0: int = 0,
 ) -> list[SweepPoint]:
     """Figure 2 (Right): fixed degree, varying total incast size."""
     points = (
         (float(s), f"size={s / 1e6:g}MB", replace(base, total_bytes=s))
         for s in sizes_bytes
     )
-    return _sweep(base, points, schemes, reps, engine, workers, cache)
+    return _sweep(base, points, schemes, reps, engine, workers, cache, seed0)
 
 
 def latency_sweep(
@@ -236,6 +239,7 @@ def latency_sweep(
     engine: ExperimentEngine | None = None,
     workers: int | None = 1,
     cache: ResultCache | None = None,
+    seed0: int = 0,
 ) -> list[SweepPoint]:
     """Figure 3: fixed degree and size, varying long-haul link latency."""
     points = (
@@ -246,4 +250,4 @@ def latency_sweep(
         )
         for d in backbone_delays_ps
     )
-    return _sweep(base, points, schemes, reps, engine, workers, cache)
+    return _sweep(base, points, schemes, reps, engine, workers, cache, seed0)

@@ -319,4 +319,6 @@ def arm_faults(
     events = _events_of(plan)
     if not events:
         return None
-    return FaultInjector(sim, events, ctx).arm()
+    injector = FaultInjector(sim, events, ctx).arm()
+    sim.instrumentation.on_fault_injector(injector)
+    return injector

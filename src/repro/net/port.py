@@ -75,6 +75,9 @@ class OutputPort:
         self.corrupted_packets = 0
         # Pre-computed serialization cost; exact (80 ps/B) at 100 Gb/s.
         self._ps_per_byte = 8 * PS_PER_S / rate_bps
+        # Build-time registration with the telemetry layer (no-op unless
+        # instrumentation is installed); never touched on the data path.
+        sim.instrumentation.on_port(self)
 
     def send(self, packet: Packet) -> EnqueueOutcome:
         """Offer ``packet`` to the queue and kick the service loop."""

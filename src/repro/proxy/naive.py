@@ -67,6 +67,7 @@ class NaiveProxy:
         self.flows: list[NaiveRelayedFlow] = []
         self.crashed = False
         self.crashes = 0
+        net.sim.instrumentation.on_proxy(self)
 
     # -- failure injection ------------------------------------------------------
 

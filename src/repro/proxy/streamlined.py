@@ -70,6 +70,7 @@ class StreamlinedProxy:
         self.flows: set[int] = set()
         self.crashed = False
         self.crashes = 0
+        sim.instrumentation.on_proxy(self)
 
     # -- wiring ------------------------------------------------------------------
 

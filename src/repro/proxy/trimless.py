@@ -48,6 +48,7 @@ class TrimlessStreamlinedProxy:
         self._senders: dict[int, int] = {}  # flow -> sender host id
         self._trackers: dict[int, FlowTracker] = {}
         self._flush_armed = False
+        sim.instrumentation.on_proxy(self)
 
     # -- wiring -------------------------------------------------------------------
 

@@ -8,6 +8,7 @@ a time horizon is reached, or a registered stop predicate fires.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import SanitizerError, SchedulingError, SimulationError
@@ -15,6 +16,7 @@ from repro.sim.events import Event
 from repro.sim.rng import RngRegistry
 from repro.sim.scheduler import EventScheduler
 from repro.sim.tracing import NullTracer, Tracer
+from repro.telemetry.instrumentation import NULL_INSTRUMENTATION, Instrumentation
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.analysis.sanitizer import Sanitizer
@@ -23,7 +25,12 @@ if TYPE_CHECKING:  # pragma: no cover
 class Simulator:
     """Discrete-event run loop with an integer-picosecond clock."""
 
-    def __init__(self, seed: int = 0, tracer: Tracer | None = None) -> None:
+    def __init__(
+        self,
+        seed: int = 0,
+        tracer: Tracer | None = None,
+        instrumentation: Instrumentation | None = None,
+    ) -> None:
         self.now: int = 0
         self.scheduler = EventScheduler()
         self.rng = RngRegistry(seed)
@@ -32,6 +39,12 @@ class Simulator:
         #: Opt-in invariant checker (see :mod:`repro.analysis.sanitizer`);
         #: components test ``sim.sanitizer is not None`` on their hot paths.
         self.sanitizer: Sanitizer | None = None
+        #: Opt-in observability (see :mod:`repro.telemetry`); components
+        #: register themselves through it at build time, and the run loop
+        #: hoists its ``enabled`` flag once per :meth:`run` call.
+        self.instrumentation: Instrumentation = (
+            instrumentation if instrumentation is not None else NULL_INSTRUMENTATION
+        )
         self._running = False
         self._stop_requested = False
 
@@ -62,6 +75,9 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         scheduler = self.scheduler
+        # Hoisted once per run: the disabled-instrumentation cost is this
+        # single attribute check, not one branch per event.
+        inst = self.instrumentation if self.instrumentation.enabled else None
         executed = 0
         try:
             while True:
@@ -86,7 +102,14 @@ class Simulator:
                     )
                 self.now = event.time
                 event.cancelled = True  # consumed; pending -> False
-                event.callback()
+                if inst is None:
+                    event.callback()
+                else:
+                    callback = event.callback
+                    started = time.perf_counter()  # repro: allow[wall-clock] profiler
+                    callback()
+                    ended = time.perf_counter()  # repro: allow[wall-clock] profiler
+                    inst.on_event(callback, ended - started)
                 executed += 1
         finally:
             self._running = False

@@ -3,16 +3,20 @@
 Components emit structured trace records (packet drops, trims, marks,
 retransmissions, window changes) through the simulator's tracer.  The
 default :class:`NullTracer` discards everything at near-zero cost;
-:class:`RecordingTracer` keeps records in memory for tests and debugging.
+:class:`RecordingTracer` keeps records in memory (optionally bounded) for
+tests and debugging; :class:`CsvTracer` streams them to disk.
 """
 
 from __future__ import annotations
 
 import csv
 import json
+from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any
+from typing import Any, MutableSequence
+
+from repro.errors import TracingError
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,7 +54,10 @@ class CsvTracer(Tracer):
     For long runs where keeping every record in memory is wasteful;
     details are JSON-encoded into a single column so arbitrary keys
     survive the flat format.  Call :meth:`close` (or use as a context
-    manager) to flush.
+    manager) to flush; closing is idempotent, the context manager flushes
+    even when the body raises, and :meth:`record` after close raises
+    :class:`~repro.errors.TracingError` instead of hitting a closed file
+    handle's cryptic ``ValueError``.
     """
 
     enabled = True
@@ -62,40 +69,73 @@ class CsvTracer(Tracer):
         self._writer = csv.writer(self._fh)
         self._writer.writerow(["time_ps", "source", "kind", "details"])
         self._kinds = kinds
+        self._closed = False
         self.rows_written = 0
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run (further records are rejected)."""
+        return self._closed
 
     def record(self, time: int, source: str, kind: str, **details: Any) -> None:
         """Write one CSV row if the record passes the kind filter."""
+        if self._closed:
+            raise TracingError(
+                f"CsvTracer({self._path}) is closed; no further records accepted"
+            )
         if self._kinds is not None and kind not in self._kinds:
             return
         self._writer.writerow([time, source, kind, json.dumps(details, sort_keys=True)])
         self.rows_written += 1
 
     def close(self) -> None:
-        """Flush and close the underlying file."""
+        """Flush and close the underlying file (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
         if not self._fh.closed:
+            self._fh.flush()
             self._fh.close()
 
     def __enter__(self) -> "CsvTracer":
         return self
 
     def __exit__(self, *exc: object) -> None:
+        # Close (and therefore flush) unconditionally: on an exceptional
+        # exit the rows emitted so far are exactly the evidence wanted.
         self.close()
 
 
 class RecordingTracer(Tracer):
-    """Stores every record in a list, optionally filtered by kind."""
+    """Stores records in memory, optionally filtered by kind and bounded.
+
+    With ``max_records`` set the tracer keeps only the newest records
+    (drop-oldest) and counts evictions in :attr:`dropped`, so a long
+    sanitized run cannot grow without bound.
+    """
 
     enabled = True
 
-    def __init__(self, kinds: set[str] | None = None) -> None:
-        self.records: list[TraceRecord] = []
+    def __init__(
+        self, kinds: set[str] | None = None, *, max_records: int | None = None
+    ) -> None:
+        if max_records is not None and max_records < 1:
+            raise TracingError(f"max_records must be >= 1, got {max_records}")
+        self.max_records = max_records
+        self.records: MutableSequence[TraceRecord] = (
+            deque() if max_records is not None else []
+        )
+        self.dropped = 0
         self._kinds = kinds
 
     def record(self, time: int, source: str, kind: str, **details: Any) -> None:
-        """Store the record if it passes the kind filter."""
-        if self._kinds is None or kind in self._kinds:
-            self.records.append(TraceRecord(time, source, kind, details))
+        """Store the record if it passes the kind filter (drop-oldest at cap)."""
+        if self._kinds is not None and kind not in self._kinds:
+            return
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.records.popleft()  # type: ignore[attr-defined]
+            self.dropped += 1
+        self.records.append(TraceRecord(time, source, kind, details))
 
     def of_kind(self, kind: str) -> list[TraceRecord]:
         """All stored records of one kind, in emission order."""

@@ -1,0 +1,60 @@
+"""repro.telemetry — low-overhead observability for runs and sweeps.
+
+Unifies the simulator's tracer surface and the metrics collectors under
+one :class:`Instrumentation` protocol with named probe points in the
+scheduler, ports, senders, proxies, and fault injector:
+
+* :class:`TelemetryRecorder` — per-run sampled time-series (queue depth,
+  ECN marks, trims, NACKs, cwnd/inflight, proxy relay occupancy) with a
+  configurable cadence and bounded memory, plus a run profiler
+  (events/sec, heap high-water mark, per-handler time, phase wall-clock);
+  the snapshot lands on ``IncastResult.telemetry``.
+* :class:`RunOptions` — the frozen per-run options bundle accepted by
+  ``run_incast(scenario, options=...)`` and the experiment engine.
+* :class:`SweepTelemetry` — sweep-level heartbeats and cache/retry/worker
+  accounting, exported as versioned JSON + CSV.
+
+Disabled runs pay one hoisted attribute check per run (see
+:data:`NULL_INSTRUMENTATION`); enabled runs are read-only observers, so
+simulation results are bit-identical with telemetry on or off.
+"""
+
+from repro.telemetry.instrumentation import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+    NullInstrumentation,
+)
+from repro.telemetry.options import RunOptions
+from repro.telemetry.recorder import (
+    DEFAULT_MAX_SAMPLES,
+    DEFAULT_MAX_SERIES,
+    DEFAULT_SAMPLE_INTERVAL_PS,
+    RunProfile,
+    TelemetryRecorder,
+    TelemetrySnapshot,
+)
+from repro.telemetry.sweep import (
+    TELEMETRY_JSON_SCHEMA,
+    TELEMETRY_SCHEMA_VERSION,
+    RunRecord,
+    SweepTelemetry,
+    validate_sweep_telemetry,
+)
+
+__all__ = [
+    "DEFAULT_MAX_SAMPLES",
+    "DEFAULT_MAX_SERIES",
+    "DEFAULT_SAMPLE_INTERVAL_PS",
+    "Instrumentation",
+    "NULL_INSTRUMENTATION",
+    "NullInstrumentation",
+    "RunOptions",
+    "RunProfile",
+    "RunRecord",
+    "SweepTelemetry",
+    "TELEMETRY_JSON_SCHEMA",
+    "TELEMETRY_SCHEMA_VERSION",
+    "TelemetryRecorder",
+    "TelemetrySnapshot",
+    "validate_sweep_telemetry",
+]

@@ -1,0 +1,92 @@
+"""The unified per-run options bundle.
+
+``run_incast`` grew call-site-by-call-site keyword arguments (``sanitize``,
+then tracers, then telemetry); :class:`RunOptions` collapses them into one
+frozen, picklable value that travels unchanged from the CLI through
+:class:`~repro.experiments.parallel.ExperimentEngine` and the worker pool
+into the runner.  ``run_incast(scenario, sanitize=True)`` still works via
+a ``DeprecationWarning`` shim in the runner.
+
+Cache interaction: any option that changes what a result *carries*
+(sanitizer tallies, telemetry snapshots) or observes the run from outside
+(a tracer, custom instrumentation) makes the run non-interchangeable with
+a plain cached one, so :attr:`RunOptions.bypasses_cache` is True and the
+engine skips the result cache in both directions — the same contract
+``sanitize=True`` already had.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigError
+from repro.telemetry.instrumentation import (
+    NULL_INSTRUMENTATION,
+    Instrumentation,
+)
+from repro.telemetry.recorder import (
+    DEFAULT_MAX_SAMPLES,
+    DEFAULT_SAMPLE_INTERVAL_PS,
+    TelemetryRecorder,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.tracing import Tracer
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """How to execute one incast run (everything except the scenario).
+
+    * ``sanitize`` — install the invariant sanitizer; the conservation
+      tally lands in ``IncastResult.conservation``.
+    * ``tracer`` — a :class:`~repro.sim.tracing.Tracer` handed to the
+      simulator (None = the near-free ``NullTracer``).
+    * ``instrumentation`` — an explicit :class:`Instrumentation` instance;
+      intended for single in-process runs (a recorder accumulates state).
+    * ``telemetry`` — build a fresh :class:`TelemetryRecorder` per run,
+      the picklable, pool-safe way to instrument a sweep; the snapshot
+      lands in ``IncastResult.telemetry``.
+    * ``sample_interval_ps`` / ``max_samples`` — the recorder's sampling
+      cadence (simulated time) and per-series memory bound.
+    """
+
+    sanitize: bool = False
+    tracer: "Tracer | None" = None
+    instrumentation: Instrumentation | None = None
+    telemetry: bool = False
+    sample_interval_ps: int = DEFAULT_SAMPLE_INTERVAL_PS
+    max_samples: int = DEFAULT_MAX_SAMPLES
+
+    def __post_init__(self) -> None:
+        if self.sample_interval_ps <= 0:
+            raise ConfigError("sample_interval_ps must be positive")
+        if self.max_samples <= 0:
+            raise ConfigError("max_samples must be positive")
+
+    def build_instrumentation(self) -> Instrumentation:
+        """The instrumentation one run should carry.
+
+        An explicit ``instrumentation`` wins; ``telemetry=True`` builds a
+        fresh recorder (safe across pool workers); otherwise the shared
+        :data:`~repro.telemetry.instrumentation.NULL_INSTRUMENTATION`.
+        """
+        if self.instrumentation is not None:
+            return self.instrumentation
+        if self.telemetry:
+            return TelemetryRecorder(
+                sample_interval_ps=self.sample_interval_ps,
+                max_samples=self.max_samples,
+            )
+        return NULL_INSTRUMENTATION
+
+    @property
+    def bypasses_cache(self) -> bool:
+        """True when results under these options must not use the cache."""
+        return (
+            self.sanitize
+            or self.telemetry
+            or self.tracer is not None
+            or self.instrumentation is not None
+        )

@@ -1,0 +1,239 @@
+"""Sweep-level telemetry: progress heartbeats plus a versioned export.
+
+While :mod:`repro.telemetry.recorder` watches *one* simulation from the
+inside, :class:`SweepTelemetry` watches the :class:`~repro.experiments
+.parallel.ExperimentEngine` from the outside: one record per run (scheme,
+seed, cache hit / simulated / quarantined, attempts, elapsed), heartbeat
+lines as the pool drains, and an end-of-sweep document combining the
+per-run records with the engine's :class:`~repro.experiments.parallel
+.ExecutionStats` (cache traffic, retries, worker utilization).
+
+The document is exported as **versioned JSON** (``telemetry.json``,
+``schema_version`` = :data:`TELEMETRY_SCHEMA_VERSION`) plus a flat
+**CSV** (``telemetry_runs.csv``) next to the sweep's own outputs.
+:func:`validate_sweep_telemetry` is a dependency-free validator over
+:data:`TELEMETRY_JSON_SCHEMA` used by the golden tests and the CI
+``telemetry-smoke`` job.
+
+This module must not import :mod:`repro.experiments` at runtime — the
+engine imports *us* — so the stats object is duck-typed.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+#: Bump whenever the exported JSON document's shape changes.
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: Document marker so a telemetry file is self-describing.
+TELEMETRY_KIND = "repro.sweep-telemetry"
+
+#: The exported document's shape, JSON-Schema style.  Kept as data (not a
+#: third-party validator) so tests and CI can check files without adding a
+#: dependency; :func:`validate_sweep_telemetry` interprets it.
+TELEMETRY_JSON_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "required": ["schema_version", "kind", "engine", "runs"],
+    "properties": {
+        "schema_version": {"type": "integer"},
+        "kind": {"type": "string"},
+        "engine": {
+            "type": "object",
+            "required": [
+                "workers", "tasks", "cache_hits", "cache_misses",
+                "failures", "retries", "wall_seconds", "sim_wall_seconds",
+                "speedup", "worker_utilization",
+            ],
+        },
+        "runs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": [
+                    "index", "scheme", "seed", "status", "attempts",
+                    "elapsed_seconds",
+                ],
+            },
+        },
+    },
+}
+
+#: Run statuses the records may carry.
+_RUN_STATUSES = frozenset({"ok", "cached", "exception", "timeout", "worker-crash"})
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One engine run as the sweep telemetry saw it."""
+
+    index: int
+    scheme: str
+    seed: int
+    #: "cached", "ok", or a quarantine kind ("exception"/"timeout"/...).
+    status: str
+    attempts: int
+    elapsed_seconds: float
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-encodable view."""
+        return {
+            "index": self.index,
+            "scheme": self.scheme,
+            "seed": self.seed,
+            "status": self.status,
+            "attempts": self.attempts,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
+
+class SweepTelemetry:
+    """Collects per-run records and emits heartbeats for one sweep."""
+
+    def __init__(
+        self,
+        *,
+        heartbeat_every: int = 1,
+        print_fn: Callable[[str], None] = print,
+    ) -> None:
+        if heartbeat_every < 1:
+            raise ValueError("heartbeat_every must be at least 1")
+        self.heartbeat_every = heartbeat_every
+        self.print_fn = print_fn
+        self.runs: list[RunRecord] = []
+        self.heartbeats = 0
+
+    # -- engine-facing hooks ------------------------------------------------
+
+    def record(
+        self, scenario: Any, status: str, attempts: int, elapsed_seconds: float
+    ) -> None:
+        """Append one run record (the engine calls this per run)."""
+        self.runs.append(
+            RunRecord(
+                index=len(self.runs),
+                scheme=str(getattr(scenario, "scheme", "?")),
+                seed=int(getattr(scenario, "seed", -1)),
+                status=status,
+                attempts=attempts,
+                elapsed_seconds=elapsed_seconds,
+            )
+        )
+
+    def on_progress(self, done: int, total: int) -> None:
+        """Heartbeat: ``done`` of ``total`` pool runs have completed."""
+        self.heartbeats += 1
+        if done % self.heartbeat_every == 0 or done == total:
+            self.print_fn(f"[telemetry] {done}/{total} runs complete")
+
+    # -- export -------------------------------------------------------------
+
+    def document(self, stats: Any) -> dict[str, Any]:
+        """The versioned JSON document for this sweep.
+
+        ``stats`` is the engine's :class:`ExecutionStats` (duck-typed).
+        Worker utilization is the fraction of the pool's wall-clock
+        capacity the simulations actually used:
+        ``sim_wall_seconds / (workers * wall_seconds)``.
+        """
+        wall = float(stats.wall_seconds)
+        workers = max(1, int(stats.workers))
+        utilization = (
+            float(stats.sim_wall_seconds) / (workers * wall) if wall > 0 else 0.0
+        )
+        return {
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
+            "kind": TELEMETRY_KIND,
+            "engine": {
+                "workers": workers,
+                "tasks": int(stats.tasks),
+                "cache_hits": int(stats.cache_hits),
+                "cache_misses": int(stats.cache_misses),
+                "failures": int(stats.failures),
+                "retries": int(stats.retries),
+                "wall_seconds": wall,
+                "sim_wall_seconds": float(stats.sim_wall_seconds),
+                "speedup": float(stats.speedup),
+                "worker_utilization": utilization,
+            },
+            "runs": [record.as_dict() for record in self.runs],
+            "heartbeats": self.heartbeats,
+        }
+
+    def write(self, directory: str | Path, stats: Any) -> tuple[Path, Path]:
+        """Write ``telemetry.json`` + ``telemetry_runs.csv`` into ``directory``.
+
+        Returns the two paths (JSON first).
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        json_path = directory / "telemetry.json"
+        json_path.write_text(
+            json.dumps(self.document(stats), indent=2, sort_keys=True) + "\n"
+        )
+        csv_path = directory / "telemetry_runs.csv"
+        with csv_path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(
+                ["index", "scheme", "seed", "status", "attempts", "elapsed_seconds"]
+            )
+            for r in self.runs:
+                writer.writerow(
+                    [r.index, r.scheme, r.seed, r.status, r.attempts,
+                     f"{r.elapsed_seconds:.6f}"]
+                )
+        return json_path, csv_path
+
+
+def validate_sweep_telemetry(doc: Any) -> list[str]:
+    """Check ``doc`` against :data:`TELEMETRY_JSON_SCHEMA`.
+
+    Returns a list of human-readable problems — empty means valid.  Kept
+    dependency-free (no ``jsonschema``) so CI and tests can call it from a
+    bare checkout.
+    """
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return [f"document must be an object, got {type(doc).__name__}"]
+    for key in TELEMETRY_JSON_SCHEMA["required"]:
+        if key not in doc:
+            problems.append(f"missing required key {key!r}")
+    if problems:
+        return problems
+    if doc["schema_version"] != TELEMETRY_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {doc['schema_version']!r} != {TELEMETRY_SCHEMA_VERSION}"
+        )
+    if doc["kind"] != TELEMETRY_KIND:
+        problems.append(f"kind {doc['kind']!r} != {TELEMETRY_KIND!r}")
+    engine = doc["engine"]
+    if not isinstance(engine, dict):
+        problems.append("engine must be an object")
+    else:
+        for key in TELEMETRY_JSON_SCHEMA["properties"]["engine"]["required"]:
+            if key not in engine:
+                problems.append(f"engine missing {key!r}")
+            elif not isinstance(engine[key], (int, float)) or isinstance(
+                engine[key], bool
+            ):
+                problems.append(f"engine[{key!r}] must be numeric")
+    runs = doc["runs"]
+    if not isinstance(runs, list):
+        problems.append("runs must be an array")
+        return problems
+    required_run = TELEMETRY_JSON_SCHEMA["properties"]["runs"]["items"]["required"]
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            problems.append(f"runs[{i}] must be an object")
+            continue
+        for key in required_run:
+            if key not in run:
+                problems.append(f"runs[{i}] missing {key!r}")
+        status = run.get("status")
+        if status is not None and status not in _RUN_STATUSES:
+            problems.append(f"runs[{i}] has unknown status {status!r}")
+    return problems

@@ -153,6 +153,9 @@ class WindowedSender:
                 f"{total_packets} x {cfg.payload_bytes}B packets"
             )
         self._tail_payload = tail
+        # Build-time registration with the telemetry layer (no-op unless
+        # instrumentation is installed); never touched on the data path.
+        sim.instrumentation.on_sender(self)
 
     # -- driving ----------------------------------------------------------------
 

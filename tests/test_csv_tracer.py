@@ -3,9 +3,12 @@
 import csv
 import json
 
+import pytest
+
+from repro.errors import TracingError
 from repro.net.packet import make_data
 from repro.sim.simulator import Simulator
-from repro.sim.tracing import CsvTracer
+from repro.sim.tracing import CsvTracer, RecordingTracer
 from repro.transport.connection import Connection
 from repro.units import milliseconds
 from tests.conftest import build_pair
@@ -55,3 +58,49 @@ class TestCsvTracer:
         tracer.close()
         tracer.close()
         assert (tmp_path / "deep" / "t.csv").exists()
+
+    def test_record_after_close_raises(self, tmp_path):
+        tracer = CsvTracer(tmp_path / "t.csv")
+        tracer.record(1, "s", "k")
+        tracer.close()
+        assert tracer.closed
+        with pytest.raises(TracingError, match="closed"):
+            tracer.record(2, "s", "k")
+
+    def test_exceptional_exit_still_flushes_rows(self, tmp_path):
+        path = tmp_path / "t.csv"
+        with pytest.raises(RuntimeError):
+            with CsvTracer(path) as tracer:
+                tracer.record(1, "srcA", "drop", seq=4)
+                raise RuntimeError("body blew up")
+        assert tracer.closed
+        rows = list(csv.DictReader(path.open()))
+        assert len(rows) == 1
+        assert rows[0]["source"] == "srcA"
+
+
+class TestRecordingTracerBound:
+    def test_unbounded_records_is_a_plain_list(self):
+        tracer = RecordingTracer()
+        tracer.record(1, "s", "k")
+        assert tracer.of_kind("k") == tracer.records
+        assert tracer.dropped == 0
+
+    def test_max_records_drops_oldest_and_counts(self):
+        tracer = RecordingTracer(max_records=3)
+        for t in range(5):
+            tracer.record(t, "s", "k", n=t)
+        assert len(tracer.records) == 3
+        assert [r.time for r in tracer.records] == [2, 3, 4]
+        assert tracer.dropped == 2
+
+    def test_kind_filter_does_not_count_as_dropped(self):
+        tracer = RecordingTracer(kinds={"keep"}, max_records=2)
+        tracer.record(1, "s", "discard")
+        tracer.record(2, "s", "keep")
+        assert tracer.dropped == 0
+        assert len(tracer.records) == 1
+
+    def test_max_records_validation(self):
+        with pytest.raises(TracingError):
+            RecordingTracer(max_records=0)

@@ -13,7 +13,7 @@ SUBPACKAGES = [
     "repro.sim", "repro.net", "repro.topology", "repro.transport",
     "repro.proxy", "repro.hoststack", "repro.detection", "repro.orchestration",
     "repro.patterns", "repro.abstraction", "repro.workloads", "repro.metrics",
-    "repro.experiments", "repro.analysis",
+    "repro.experiments", "repro.analysis", "repro.telemetry",
 ]
 
 

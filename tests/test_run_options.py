@@ -1,0 +1,152 @@
+"""RunOptions bundle, the legacy ``sanitize=`` shim, and the shared CLI."""
+
+import dataclasses
+import warnings
+from dataclasses import replace
+
+import pytest
+
+from repro.config import TransportConfig, small_interdc_config
+from repro.errors import ConfigError
+from repro.experiments.parallel import ExperimentEngine, ResultCache
+from repro.experiments.runner import IncastScenario, run_incast
+from repro.sim.tracing import RecordingTracer
+from repro.telemetry import RunOptions
+from repro.units import kilobytes
+
+
+def _scenario(**overrides):
+    base = IncastScenario(
+        degree=2,
+        total_bytes=kilobytes(100),
+        interdc=small_interdc_config(),
+        transport=TransportConfig(payload_bytes=4096),
+    )
+    return replace(base, **overrides) if overrides else base
+
+
+class TestRunOptions:
+    def test_frozen_and_validated(self):
+        options = RunOptions()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            options.sanitize = True
+        with pytest.raises(ConfigError):
+            RunOptions(sample_interval_ps=0)
+        with pytest.raises(ConfigError):
+            RunOptions(max_samples=0)
+
+    def test_cache_bypass_matrix(self):
+        assert not RunOptions().bypasses_cache
+        assert RunOptions(sanitize=True).bypasses_cache
+        assert RunOptions(telemetry=True).bypasses_cache
+        assert RunOptions(tracer=RecordingTracer()).bypasses_cache
+
+    def test_options_path_sanitizes_without_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            result = run_incast(_scenario(), options=RunOptions(sanitize=True))
+        assert result.conservation is not None
+
+    def test_legacy_sanitize_kwarg_warns_and_still_works(self):
+        with pytest.warns(DeprecationWarning, match="RunOptions"):
+            result = run_incast(_scenario(), sanitize=True)
+        assert result.conservation is not None
+
+    def test_legacy_kwarg_folds_into_explicit_options(self):
+        with pytest.warns(DeprecationWarning):
+            result = run_incast(
+                _scenario(), options=RunOptions(telemetry=True), sanitize=True
+            )
+        assert result.conservation is not None
+        assert result.telemetry is not None
+
+    def test_tracer_option_reaches_the_simulator(self):
+        from repro.faults.plan import blackhole_plan
+        from repro.units import milliseconds
+
+        tracer = RecordingTracer(kinds={"blackhole"})
+        scenario = _scenario(faults=blackhole_plan(
+            at_ps=0, duration_ps=milliseconds(5), drop_fraction=0.5,
+            target="backbone",
+        ))
+        run_incast(scenario, options=RunOptions(tracer=tracer))
+        assert tracer.of_kind("blackhole")
+
+
+class TestEngineOptions:
+    def test_engine_threads_options_through(self):
+        engine = ExperimentEngine(
+            workers=1, options=RunOptions(telemetry=True)
+        )
+        [result] = engine.run_incasts([_scenario()])
+        assert result.telemetry is not None
+
+    def test_legacy_engine_sanitize_kwarg_folds(self):
+        engine = ExperimentEngine(workers=1, sanitize=True)
+        assert engine.sanitize is True
+        assert engine.options.sanitize is True
+        with pytest.raises(AttributeError):
+            engine.sanitize = False  # read-only property over options
+
+    def test_telemetry_options_bypass_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        scenario = _scenario()
+        ExperimentEngine(workers=1, cache=cache).run_incasts([scenario])
+        engine = ExperimentEngine(
+            workers=1, cache=cache, options=RunOptions(telemetry=True)
+        )
+        [result] = engine.run_incasts([scenario])
+        assert not result.from_cache
+        assert result.telemetry is not None
+        assert engine.stats.cache_hits == 0
+
+
+class TestSharedCli:
+    def test_version_flag(self, capsys):
+        from repro import __version__
+        from repro.__main__ import main
+
+        main(["--version"])
+        assert capsys.readouterr().out.strip() == f"repro {__version__}"
+
+    def test_common_parser_accepts_the_shared_flags(self):
+        import argparse
+
+        from repro.__main__ import common_parser, options_from_args
+
+        parser = argparse.ArgumentParser(parents=[common_parser()])
+        args = parser.parse_args(
+            ["--workers", "2", "--no-cache", "--sanitize", "--seed", "7",
+             "--telemetry", "--sample-interval", "2.5"]
+        )
+        assert (args.workers, args.no_cache, args.seed) == (2, True, 7)
+        options = options_from_args(args)
+        assert options.sanitize and options.telemetry
+        assert options.sample_interval_ps == 2_500_000
+
+    def test_check_common_args_rejects_bad_values(self, capsys):
+        import argparse
+
+        from repro.__main__ import check_common_args, common_parser
+
+        parser = argparse.ArgumentParser(parents=[common_parser()])
+        for flags in (["--workers", "-1"], ["--run-timeout", "0"],
+                      ["--sample-interval", "0"]):
+            with pytest.raises(SystemExit):
+                check_common_args(parser, parser.parse_args(flags))
+        capsys.readouterr()
+
+    @pytest.mark.parametrize("module", [
+        "repro.experiments.figures", "repro.experiments.faultsweep",
+    ])
+    def test_sweep_clis_expose_the_shared_flags(self, module, capsys):
+        import importlib
+
+        main = importlib.import_module(module).main
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        text = capsys.readouterr().out
+        for flag in ("--workers", "--no-cache", "--cache-dir", "--sanitize",
+                     "--seed", "--telemetry", "--telemetry-dir",
+                     "--sample-interval"):
+            assert flag in text, flag
