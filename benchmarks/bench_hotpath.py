@@ -1,0 +1,179 @@
+"""Hot-path throughput benchmark and perf-regression gate.
+
+Measures simulator throughput — events/sec, packets/sec, wall seconds per
+scheme, plus peak RSS — on the reduced Fig. 2-left workload (degree 8,
+40 MB, 8 KiB payloads) and writes the versioned ``BENCH_hotpath.json``
+record at the repo root.  The committed copy of that file is the perf
+reference: CI's ``perf-smoke`` job re-measures with ``--quick`` and fails
+when any scheme's events/sec regresses more than the tolerance (default
+20%) against it.
+
+Usage::
+
+    python benchmarks/bench_hotpath.py            # full run, rewrite BENCH_hotpath.json
+    python benchmarks/bench_hotpath.py --quick --check   # CI regression gate
+    python benchmarks/bench_hotpath.py --check --tolerance 0.1
+
+``PRE_CHANGE_BASELINE`` below is the same measurement taken at the commit
+*before* the hot-path overhaul (calendar-queue scheduler, packet pooling,
+batched dispatch, lazy timers); the report's ``speedup_vs_pre_change`` is
+computed against it so the overhaul's claim stays checkable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+from repro.config import TransportConfig
+from repro.experiments.runner import SCHEMES, IncastScenario, run_incast
+from repro.units import megabytes
+
+#: Format version of BENCH_hotpath.json; bump on schema changes.
+BENCH_VERSION = 1
+
+#: Where the committed reference record lives.
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+
+#: events/sec per scheme measured immediately before the hot-path overhaul
+#: landed, on the same scenario and timing protocol (best-of-3 after one
+#: warmup run).  Absolute numbers are machine-specific; the speedup ratio
+#: is what the overhaul is accountable for.
+PRE_CHANGE_BASELINE = {
+    "baseline": 173003.3,
+    "naive": 210812.8,
+    "streamlined": 258564.5,
+    "trimless": 247646.1,
+    "proxy-failover": 259262.2,
+}
+
+
+def _scenario() -> IncastScenario:
+    """Reduced Fig. 2-left workload at its largest swept degree."""
+    return IncastScenario(
+        degree=8,
+        total_bytes=megabytes(40),
+        transport=TransportConfig(payload_bytes=8192),
+    )
+
+
+def measure(repetitions: int = 3) -> dict:
+    """Best-of-``repetitions`` timing per scheme, after one warmup run."""
+    base = _scenario()
+    schemes: dict[str, dict] = {}
+    for scheme in SCHEMES:
+        scenario = replace(base, scheme=scheme, seed=0)
+        run_incast(scenario)  # warmup: prime allocator, caches, imports
+        best_dt = None
+        best = None
+        for _ in range(repetitions):
+            t0 = time.perf_counter()
+            result = run_incast(scenario)
+            dt = time.perf_counter() - t0
+            if best_dt is None or dt < best_dt:
+                best_dt, best = dt, result
+        assert best is not None and best_dt is not None
+        events_per_sec = best.events_executed / best_dt
+        schemes[scheme] = {
+            "wall_s": round(best_dt, 4),
+            "ict_ps": best.ict_ps,
+            "packets": best.counters.tx_packets,
+            "packets_per_sec": round(best.counters.tx_packets / best_dt, 1),
+            "events": best.events_executed,
+            "events_per_sec": round(events_per_sec, 1),
+            "speedup_vs_pre_change": round(
+                events_per_sec / PRE_CHANGE_BASELINE[scheme], 3
+            ) if scheme in PRE_CHANGE_BASELINE else None,
+        }
+    total_events = sum(s["events"] for s in schemes.values())
+    total_wall = sum(s["wall_s"] for s in schemes.values())
+    aggregate_eps = total_events / total_wall
+    pre_eps = (
+        sum(PRE_CHANGE_BASELINE[s] * schemes[s]["wall_s"] for s in schemes
+            if s in PRE_CHANGE_BASELINE)
+        / total_wall
+    )
+    return {
+        "version": BENCH_VERSION,
+        "scenario": {
+            "workload": "fig2-left-reduced",
+            "degree": 8,
+            "total_bytes": megabytes(40),
+            "payload_bytes": 8192,
+            "seed": 0,
+        },
+        "protocol": {"warmup_runs": 1, "repetitions": repetitions,
+                     "statistic": "best"},
+        "schemes": schemes,
+        "aggregate": {
+            "events_per_sec": round(aggregate_eps, 1),
+            "speedup_vs_pre_change": round(aggregate_eps / pre_eps, 3),
+        },
+        "pre_change_baseline_events_per_sec": PRE_CHANGE_BASELINE,
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+    }
+
+
+def check(report: dict, reference_path: Path, tolerance: float) -> int:
+    """Fail (return 1) when events/sec regressed beyond ``tolerance``."""
+    if not reference_path.exists():
+        print(f"perf-smoke: no reference at {reference_path}; nothing to "
+              "compare against", file=sys.stderr)
+        return 1
+    reference = json.loads(reference_path.read_text())
+    failures = []
+    for scheme, ref in reference.get("schemes", {}).items():
+        measured = report["schemes"].get(scheme)
+        if measured is None:
+            failures.append(f"{scheme}: missing from this measurement")
+            continue
+        floor = ref["events_per_sec"] * (1.0 - tolerance)
+        if measured["events_per_sec"] < floor:
+            failures.append(
+                f"{scheme}: {measured['events_per_sec']:.0f} ev/s < "
+                f"{floor:.0f} (reference {ref['events_per_sec']:.0f} "
+                f"- {tolerance:.0%})"
+            )
+        else:
+            print(f"perf-smoke: {scheme}: {measured['events_per_sec']:.0f} "
+                  f"ev/s (reference {ref['events_per_sec']:.0f}, "
+                  f"floor {floor:.0f}) ok")
+    if failures:
+        for line in failures:
+            print(f"perf-smoke REGRESSION: {line}", file=sys.stderr)
+        return 1
+    print("perf-smoke: no events/sec regression beyond "
+          f"{tolerance:.0%} tolerance")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="single timed repetition (CI smoke mode)")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed reference and "
+                             "fail on regression instead of rewriting it")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional events/sec regression "
+                             "in --check mode (default 0.20)")
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                        help="where to write (or read, with --check) the "
+                             "benchmark record")
+    args = parser.parse_args(argv)
+    report = measure(repetitions=1 if args.quick else 3)
+    print(json.dumps(report, indent=2))
+    if args.check:
+        return check(report, args.output, args.tolerance)
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,15 +10,19 @@ pattern-aware detection).
 
 Quick start::
 
-    from repro import IncastScenario, run_incast, small_interdc_config
+    from repro import build_scenario, run_incast, small_interdc_config
     from repro.units import megabytes
 
-    scenario = IncastScenario(
-        scheme="streamlined", degree=4, total_bytes=megabytes(10),
+    scenario = build_scenario(
+        "streamlined", degree=4, total_bytes=megabytes(10),
         interdc=small_interdc_config(),
     )
     result = run_incast(scenario)
     print(f"incast completion time: {result.ict_ms:.2f} ms")
+
+Schemes are data: every harness dispatches through
+:data:`repro.schemes.SCHEME_REGISTRY`, and third parties add their own
+with :func:`repro.schemes.register_scheme`.
 """
 
 from repro.config import (
@@ -34,9 +38,21 @@ from repro.experiments.parallel import (
     ResultCache,
     run_incast_batch,
 )
-from repro.experiments.runner import SCHEMES, IncastResult, IncastScenario, run_incast
+from repro.experiments.runner import (
+    SCHEMES,
+    IncastResult,
+    IncastScenario,
+    build_scenario,
+    run_incast,
+)
 from repro.experiments.sweeps import degree_sweep, latency_sweep, size_sweep
 from repro.net.network import Network
+from repro.schemes import (
+    SCHEME_REGISTRY,
+    SchemeRegistry,
+    SchemeSpec,
+    register_scheme,
+)
 from repro.sim.simulator import Simulator
 from repro.telemetry import (
     RunOptions,
@@ -61,6 +77,9 @@ __all__ = [
     "ResultCache",
     "RunOptions",
     "SCHEMES",
+    "SCHEME_REGISTRY",
+    "SchemeRegistry",
+    "SchemeSpec",
     "Simulator",
     "SweepTelemetry",
     "TelemetryRecorder",
@@ -68,9 +87,11 @@ __all__ = [
     "TransportConfig",
     "__version__",
     "build_interdc",
+    "build_scenario",
     "degree_sweep",
     "latency_sweep",
     "paper_interdc_config",
+    "register_scheme",
     "run_incast",
     "run_incast_batch",
     "size_sweep",

@@ -1,0 +1,36 @@
+"""Deprecation plumbing shared by the legacy keyword shims.
+
+Every deprecated spelling funnels through :func:`_deprecated`, which warns
+**once per call site** — a sweep that hits the same legacy kwarg ten
+thousand times produces one warning line, while two distinct call sites
+each get their own.  Tests that assert on warnings can reset the
+bookkeeping with :func:`_reset_deprecation_registry`.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+#: (filename, lineno, message) triples that have already warned.
+_seen: set[tuple[str, int, str]] = set()
+
+
+def _deprecated(message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``DeprecationWarning(message)`` once per calling site.
+
+    ``stacklevel`` is interpreted exactly as :func:`warnings.warn` would:
+    2 points at the caller of the shim, 3 (the default) at the caller of
+    the public function the shim sits inside.
+    """
+    frame = sys._getframe(stacklevel - 1)
+    key = (frame.f_code.co_filename, frame.f_lineno, message)
+    if key in _seen:
+        return
+    _seen.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def _reset_deprecation_registry() -> None:
+    """Forget which call sites have warned (test isolation helper)."""
+    _seen.clear()

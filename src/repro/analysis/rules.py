@@ -25,6 +25,7 @@ __all__ = [
     "LintRule",
     "MutableDefaultRule",
     "RULES",
+    "RawHeapqRule",
     "RawRandomRule",
     "SetIterationRule",
     "Violation",
@@ -115,6 +116,42 @@ class RawRandomRule(LintRule):
                         relpath, node,
                         f"unseeded {callee}() seeds from the OS entropy pool; "
                         "pass an explicit derived seed",
+                    )
+
+
+class RawHeapqRule(LintRule):
+    """``import heapq`` outside the scheduler package.
+
+    Event ordering belongs to :mod:`repro.sim.scheduler` — its calendar
+    queue owns the tie-break contract, and a hand-rolled event heap
+    elsewhere silently re-introduces the FIFO-ordering bugs the scheduler
+    exists to prevent.  Heaps over plain data (sequence numbers, Dijkstra
+    frontiers) are fine: suppress those imports with
+    ``# repro: allow[raw-heapq]``.
+    """
+
+    name = "raw-heapq"
+    summary = "import heapq outside repro.sim (event ordering lives there)"
+    excluded_prefixes = ("src/repro/sim/",)
+
+    def check(self, tree: ast.Module, relpath: str) -> Iterator[Violation]:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "heapq":
+                        yield self._violation(
+                            relpath, node,
+                            "import heapq outside repro.sim; schedule through "
+                            "the simulator's calendar queue, or suppress if "
+                            "this heap holds plain data rather than events",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "heapq" and node.level == 0:
+                    yield self._violation(
+                        relpath, node,
+                        "from heapq import ... outside repro.sim; schedule "
+                        "through the simulator's calendar queue, or suppress "
+                        "if this heap holds plain data rather than events",
                     )
 
 
@@ -352,6 +389,7 @@ def _is_set_expr(node: ast.expr, set_names: frozenset[str]) -> bool:
 #: Every registered rule, in reporting order.
 RULES: tuple[LintRule, ...] = (
     RawRandomRule(),
+    RawHeapqRule(),
     WallClockRule(),
     SetIterationRule(),
     IdKeyRule(),

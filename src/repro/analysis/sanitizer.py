@@ -128,6 +128,10 @@ class Sanitizer:
             raise SanitizerError("simulator already has a sanitizer installed")
         sim.sanitizer = self
         self.sim = sim
+        # Arm the pool's acquire-time leak check: recycling a packet some
+        # component still references is exactly the class of bug this
+        # sanitizer exists to catch.
+        sim.packet_pool.sanitize = True
         return self
 
     # -- host hooks ---------------------------------------------------------

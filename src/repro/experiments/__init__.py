@@ -31,7 +31,13 @@ from repro.experiments.parallel import (
     run_parallel,
     scenario_key,
 )
-from repro.experiments.runner import SCHEMES, IncastResult, IncastScenario, run_incast
+from repro.experiments.runner import (
+    SCHEMES,
+    IncastResult,
+    IncastScenario,
+    build_scenario,
+    run_incast,
+)
 from repro.experiments.verdicts import Scorecard, Verdict, evaluate as evaluate_claims
 from repro.experiments.sweeps import (
     SchemeSummary,
@@ -58,6 +64,7 @@ __all__ = [
     "Scorecard",
     "SweepPoint",
     "Verdict",
+    "build_scenario",
     "compare_cascade",
     "compare_convergence",
     "degree_sweep",

@@ -19,12 +19,10 @@ from dataclasses import dataclass, field, replace
 
 from repro.config import InterDcConfig, TransportConfig, paper_interdc_config
 from repro.errors import ExperimentError
-from repro.experiments.runner import SCHEMES, IncastScenario
+from repro.experiments.runner import IncastScenario
 from repro.metrics.timeseries import Sampler, TimeSeries
-from repro.proxy.naive import NaiveProxy
 from repro.proxy.placement import pick_proxy_host, pick_senders
-from repro.proxy.streamlined import StreamlinedProxy
-from repro.proxy.trimless import TrimlessStreamlinedProxy
+from repro.schemes import SCHEME_REGISTRY
 from repro.sim.simulator import Simulator
 from repro.topology.interdc import build_interdc
 from repro.transport.connection import Connection
@@ -71,8 +69,8 @@ def measure_convergence(
     if not 0 < target_fraction <= 1:
         raise ExperimentError("target_fraction must be in (0, 1]")
     sim = Simulator(seed=scenario.seed)
-    trimming = scenario.scheme == "streamlined"
-    topo = build_interdc(sim, scenario.interdc.with_trimming(trimming))
+    spec = SCHEME_REGISTRY.get(scenario.scheme)
+    topo = build_interdc(sim, scenario.interdc.with_trimming(spec.trimming))
     net = topo.net
     receiver = topo.fabrics[1].hosts[0]
     senders = pick_senders(topo.fabrics[0], scenario.degree)
@@ -87,32 +85,37 @@ def measure_convergence(
             sampler.stop()
             sim.stop()
 
-    if scenario.scheme == "baseline":
+    # Wiring follows the spec's plane; the goodput probe needs the endpoint
+    # receivers, so flows are built here rather than through spec.wire
+    # (which reports sender-side handles for the runner).
+    if spec.plane == "direct":
         for host, size in zip(senders, sizes):
             conn = Connection(net, host, receiver, size, scenario.transport,
                               on_receiver_complete=on_done)
             receivers.append(conn.receiver)
             conn.start()
-    elif scenario.scheme == "naive":
-        proxy_host = pick_proxy_host(topo.fabrics[0], senders)
-        proxy = NaiveProxy(net, proxy_host, scenario.transport)
-        for host, size in zip(senders, sizes):
-            flow = proxy.relay(host, receiver, size, on_receiver_complete=on_done)
-            receivers.append(flow.outer.receiver)
-            flow.start()
     else:
         proxy_host = pick_proxy_host(topo.fabrics[0], senders)
-        if scenario.scheme == "streamlined":
-            proxy = StreamlinedProxy(sim, proxy_host,
-                                     processing_delay=scenario.proxy_delay_sampler)
-        else:
-            proxy = TrimlessStreamlinedProxy(sim, proxy_host, scenario.detector)
-        for host, size in zip(senders, sizes):
-            conn = Connection(net, host, receiver, size, scenario.transport,
-                              via=(proxy_host,), on_receiver_complete=on_done)
-            proxy.attach(conn)
-            receivers.append(conn.receiver)
-            conn.start()
+        assert spec.make_proxy is not None  # enforced by SchemeSpec
+        proxy = spec.make_proxy(
+            sim, net, proxy_host,
+            transport=scenario.transport,
+            detector=scenario.detector,
+            processing_delay=scenario.proxy_delay_sampler,
+        )
+        if spec.plane == "relay":
+            for host, size in zip(senders, sizes):
+                flow = proxy.relay(host, receiver, size,
+                                   on_receiver_complete=on_done)
+                receivers.append(flow.outer.receiver)
+                flow.start()
+        else:  # "via"
+            for host, size in zip(senders, sizes):
+                conn = Connection(net, host, receiver, size, scenario.transport,
+                                  via=(proxy_host,), on_receiver_complete=on_done)
+                proxy.attach(conn)
+                receivers.append(conn.receiver)
+                conn.start()
 
     sampler = Sampler(sim, sample_interval_ps)
     cumulative = sampler.probe(
@@ -193,7 +196,7 @@ def compare_convergence(
     engine; results are merged in scheme order, so the returned mapping is
     identical for any worker count.
     """
-    unknown = set(schemes) - set(SCHEMES)
+    unknown = set(schemes) - set(SCHEME_REGISTRY.names())
     if unknown:
         raise ExperimentError(f"unknown schemes {sorted(unknown)}")
     from repro.experiments.parallel import ExperimentEngine

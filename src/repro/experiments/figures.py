@@ -177,12 +177,15 @@ def build_engine(
 ) -> ExperimentEngine:
     """The engine the figure drivers share, honoring the CLI cache flags."""
     cache = None if no_cache else ResultCache(cache_dir or DEFAULT_CACHE_DIR)
+    if sanitize:
+        from repro.telemetry import RunOptions
+
+        options = replace(options or RunOptions(), sanitize=True)
     return ExperimentEngine(
         workers=workers,
         cache=cache,
         on_fallback=lambda reason: print(f"[parallel] {reason}"),
         run_timeout_s=run_timeout_s,
-        sanitize=sanitize,
         options=options,
         telemetry=telemetry,
     )

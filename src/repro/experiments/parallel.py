@@ -51,6 +51,7 @@ from dataclasses import dataclass, is_dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
+from repro._compat import _deprecated
 from repro.errors import ExperimentError
 from repro.experiments.runner import IncastResult, IncastScenario, run_incast
 from repro.telemetry.options import RunOptions
@@ -529,7 +530,7 @@ class ExperimentEngine:
         run_timeout_s: float | None = None,
         max_attempts: int = 2,
         retry_backoff_s: float = 0.05,
-        sanitize: bool = False,
+        sanitize: bool | None = None,
         options: RunOptions | None = None,
         telemetry: SweepTelemetry | None = None,
     ) -> None:
@@ -550,10 +551,15 @@ class ExperimentEngine:
         #: custom instrumentation) skip it in both directions: a cached
         #: result proves nothing about invariants and carries no snapshot,
         #: and an instrumented result is not interchangeable with a plain
-        #: one.  The legacy ``sanitize=True`` kwarg folds into ``options``.
+        #: one.  The legacy ``sanitize=`` kwarg folds into ``options``.
         self.options = options if options is not None else RunOptions()
-        if sanitize:
-            self.options = dataclasses.replace(self.options, sanitize=True)
+        if sanitize is not None:
+            _deprecated(
+                "ExperimentEngine(..., sanitize=...) is deprecated; pass "
+                "options=RunOptions(sanitize=...) instead"
+            )
+            if sanitize:
+                self.options = dataclasses.replace(self.options, sanitize=True)
         #: sweep-level telemetry sink (heartbeats + per-run records);
         #: None means no sweep accounting beyond ``stats``.
         self.telemetry = telemetry

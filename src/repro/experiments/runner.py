@@ -2,19 +2,14 @@
 
 The runner reproduces the paper's §4.1 methodology: ``degree`` senders in
 datacenter 0 simultaneously transmit equal shares of ``total_bytes`` to a
-single receiver in datacenter 1.  Scheme selection:
-
-* ``baseline``    — senders transmit directly to the remote receiver;
-* ``naive``       — per-flow split connections through an in-DC proxy
-                    (:class:`~repro.proxy.naive.NaiveProxy`);
-* ``streamlined`` — end-to-end connections routed via the proxy with
-                    switch trimming enabled network-wide
-                    (:class:`~repro.proxy.streamlined.StreamlinedProxy`);
-* ``trimless``    — streamlined forwarding w/o trimming, detector-driven
-                    NACKs (§5 FW#1);
-* ``proxy-failover`` — streamlined with a hot-standby backup proxy and a
-                    heartbeat failure detector that migrates connections
-                    when the primary crashes (:mod:`repro.faults.failover`).
+single receiver in datacenter 1.  Scheme selection is data-driven: the
+scenario's ``scheme`` string is looked up in
+:data:`repro.schemes.SCHEME_REGISTRY` and the resulting
+:class:`~repro.schemes.SchemeSpec` decides whether the fabric trims and
+how flows are wired.  The built-ins are ``baseline``, ``naive``,
+``streamlined``, ``trimless`` and ``proxy-failover`` (see
+:mod:`repro.schemes` for their semantics); third-party schemes registered
+with :func:`repro.schemes.register_scheme` run here unchanged.
 
 Incast completion time (ICT) is measured at the *real* receiver: the time
 until the last byte of the last flow has arrived.
@@ -30,22 +25,20 @@ either completed or failed.
 from __future__ import annotations
 
 import time
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import Callable
 
+from repro._compat import _deprecated
 from repro.analysis.sanitizer import Sanitizer
 from repro.config import InterDcConfig, TransportConfig, paper_interdc_config
 from repro.detection.lossdetector import DetectorConfig
 from repro.errors import ExperimentError
-from repro.faults.failover import FailoverConfig, FailoverManager
+from repro.faults.failover import FailoverConfig
 from repro.faults.injector import FaultContext, arm_faults
 from repro.faults.plan import FaultPlan
 from repro.metrics.collector import NetworkCounters, collect_network_counters
-from repro.proxy.naive import NaiveProxy
-from repro.proxy.placement import pick_proxy_host, pick_senders
-from repro.proxy.streamlined import StreamlinedProxy
-from repro.proxy.trimless import TrimlessStreamlinedProxy
+from repro.proxy.placement import pick_senders
+from repro.schemes import SCHEME_REGISTRY, SchemeContext
 from repro.sim.simulator import Simulator
 from repro.telemetry.options import RunOptions
 from repro.telemetry.recorder import TelemetrySnapshot
@@ -53,10 +46,13 @@ from repro.topology.interdc import build_interdc
 from repro.transport.connection import Connection
 from repro.units import megabytes, seconds
 
-SCHEMES = ("baseline", "naive", "streamlined", "trimless", "proxy-failover")
+#: Built-in scheme names, in the paper's presentation order.  Kept as a
+#: module constant for backwards compatibility; the registry is the source
+#: of truth and also covers schemes registered after import.
+SCHEMES = SCHEME_REGISTRY.names()
 
 #: Schemes whose forwarding uses switch trimming (the streamlined family).
-_TRIMMING_SCHEMES = ("streamlined", "proxy-failover")
+_TRIMMING_SCHEMES = SCHEME_REGISTRY.trimming_names()
 
 
 @dataclass(frozen=True)
@@ -82,8 +78,10 @@ class IncastScenario:
     failover: FailoverConfig = field(default_factory=FailoverConfig)
 
     def __post_init__(self) -> None:
-        if self.scheme not in SCHEMES:
-            raise ExperimentError(f"unknown scheme {self.scheme!r}; pick from {SCHEMES}")
+        # Registry lookup (not the frozen SCHEMES tuple) so third-party
+        # schemes registered via repro.schemes validate too; raises
+        # ExperimentError listing the registered names on a miss.
+        SCHEME_REGISTRY.get(self.scheme)
         if self.routing not in ("spray", "ecmp"):
             raise ExperimentError(f"unknown routing {self.routing!r}")
         if self.degree < 1:
@@ -204,16 +202,15 @@ def run_incast(
     ``DeprecationWarning``; pass ``options=RunOptions(sanitize=True)``.
     """
     if sanitize is not None:
-        warnings.warn(
+        _deprecated(
             "run_incast(..., sanitize=...) is deprecated; pass "
-            "options=RunOptions(sanitize=...) instead",
-            DeprecationWarning,
-            stacklevel=2,
+            "options=RunOptions(sanitize=...) instead"
         )
         options = replace(options if options is not None else RunOptions(),
                           sanitize=sanitize)
     if options is None:
         options = RunOptions()
+    spec = SCHEME_REGISTRY.get(scenario.scheme)
     wall_start = time.perf_counter()
     inst = options.build_instrumentation()
     sim = Simulator(
@@ -221,7 +218,7 @@ def run_incast(
     )
     inst.phase("build")
     sanitizer = Sanitizer().install(sim) if options.sanitize else None
-    trimming = scenario.scheme in _TRIMMING_SCHEMES
+    trimming = spec.trimming
     topo = build_interdc(
         sim, scenario.interdc.with_trimming(trimming), routing=scenario.routing
     )
@@ -253,81 +250,22 @@ def run_incast(
     def make_on_fail(i: int):
         return lambda _sender: _mark(i, "failed")
 
-    senders_list = []  # WindowedSender endpoints, for stats
-    proxies: dict[str, object] = {}
-    proxy_hosts: dict[str, "object"] = {}
-    nack_proxies = []  # proxies whose stats.nacks_sent the result reports
-    manager: FailoverManager | None = None
-
-    if scenario.scheme == "baseline":
-        for i, (host, size) in enumerate(zip(senders, sizes)):
-            conn = Connection(
-                net, host, receiver, size, scenario.transport,
-                on_receiver_complete=make_on_done(i),
-                on_sender_fail=make_on_fail(i),
-                label=f"base{i}",
-            )
-            senders_list.append(conn.sender)
-            conn.start()
-    elif scenario.scheme == "naive":
-        proxy_host = pick_proxy_host(topo.fabrics[0], senders)
-        proxy = NaiveProxy(net, proxy_host, scenario.transport)
-        proxies["primary"] = proxy
-        proxy_hosts["primary"] = proxy_host
-        for i, (host, size) in enumerate(zip(senders, sizes)):
-            flow = proxy.relay(
-                host, receiver, size,
-                on_receiver_complete=make_on_done(i),
-                label=f"naive{i}",
-            )
-            # Either leg giving up kills the relayed flow: a dead inner leg
-            # starves the outer one forever, so both report the same index.
-            flow.inner.sender.on_fail = make_on_fail(i)
-            flow.outer.sender.on_fail = make_on_fail(i)
-            senders_list.append(flow.inner.sender)
-            senders_list.append(flow.outer.sender)
-            flow.start()
-    else:  # streamlined family: streamlined / trimless / proxy-failover
-        proxy_host = pick_proxy_host(topo.fabrics[0], senders)
-        if scenario.scheme == "trimless":
-            proxy = TrimlessStreamlinedProxy(sim, proxy_host, scenario.detector)
-        else:
-            proxy = StreamlinedProxy(
-                sim, proxy_host, processing_delay=scenario.proxy_delay_sampler
-            )
-        proxies["primary"] = proxy
-        proxy_hosts["primary"] = proxy_host
-        nack_proxies.append(proxy)
-        backup = None
-        if scenario.scheme == "proxy-failover":
-            backup_host = pick_proxy_host(topo.fabrics[0], [*senders, proxy_host])
-            backup = StreamlinedProxy(
-                sim, backup_host,
-                processing_delay=scenario.proxy_delay_sampler,
-                label=f"sproxy-backup:{backup_host.name}",
-            )
-            proxies["backup"] = backup
-            proxy_hosts["backup"] = backup_host
-            nack_proxies.append(backup)
-        conns = []
-        for i, (host, size) in enumerate(zip(senders, sizes)):
-            conn = Connection(
-                net, host, receiver, size, scenario.transport,
-                via=(proxy_host,),
-                on_receiver_complete=make_on_done(i),
-                on_sender_fail=make_on_fail(i),
-                label=f"{scenario.scheme}{i}",
-            )
-            proxy.attach(conn)
-            if backup is not None:
-                backup.attach(conn)  # inert until reroute_via points here
-            senders_list.append(conn.sender)
-            conns.append(conn)
-            conn.start()
-        if backup is not None:
-            manager = FailoverManager(
-                sim, proxy, backup, conns, cfg=scenario.failover
-            ).start()
+    wiring = spec.wire(SchemeContext(
+        sim=sim,
+        net=net,
+        fabrics=topo.fabrics,
+        scenario=scenario,
+        receiver=receiver,
+        senders=senders,
+        sizes=sizes,
+        make_on_done=make_on_done,
+        make_on_fail=make_on_fail,
+    ))
+    senders_list = wiring.senders  # WindowedSender endpoints, for stats
+    proxies = wiring.proxies
+    proxy_hosts = wiring.proxy_hosts
+    nack_proxies = wiring.nack_proxies
+    manager = wiring.manager
 
     if scenario.background_flows:
         _start_background(sim, topo, scenario, busy_hosts={
@@ -381,3 +319,17 @@ def run_incast(
         telemetry=inst.finish(),
     )
     return result
+
+
+def build_scenario(scheme: str = "baseline", **overrides) -> IncastScenario:
+    """Construct a validated :class:`IncastScenario`.
+
+    Thin, discoverable front door for the common case::
+
+        scenario = build_scenario("streamlined", degree=8, seed=3)
+
+    ``scheme`` is validated against :data:`repro.schemes.SCHEME_REGISTRY`
+    (so schemes added with :func:`repro.schemes.register_scheme` work);
+    every other :class:`IncastScenario` field may be overridden by keyword.
+    """
+    return IncastScenario(scheme=scheme, **overrides)

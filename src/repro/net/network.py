@@ -9,7 +9,7 @@ that transports use to size initial windows and timers.
 
 from __future__ import annotations
 
-import heapq
+import heapq  # repro: allow[raw-heapq] Dijkstra frontier, not events
 from typing import TYPE_CHECKING, Iterable
 
 from repro.errors import RoutingError, TopologyError
@@ -91,6 +91,15 @@ class Network:
         for switch in self.switches:
             switch.routing = strategy
             switch.spray_rng = self.sim.rng.stream(f"spray:{switch.name}")
+            # Single-candidate destinations bypass the strategy entirely on
+            # the forwarding fast path; with one equal-cost hop, spray and
+            # ECMP both return it without consulting RNG or hash, so the
+            # bypass is behavior-preserving.
+            switch.direct_ports = {
+                dst: switch.ports[hops[0]]
+                for dst, hops in tables[switch.id].items()
+                if len(hops) == 1
+            }
         self._finalized = True
 
     # -- identifiers ----------------------------------------------------------

@@ -53,9 +53,18 @@ class Switch(Node):
         super().__init__(sim, node_id, name, dc)
         self.routing: "RoutingStrategy | None" = None
         self.spray_rng: SimRandom | None = None
+        #: Forwarding fast path, filled by Network.finalize(): destinations
+        #: with exactly one equal-cost next hop map straight to the output
+        #: port, skipping the strategy dispatch (and, for spraying, leaving
+        #: the RNG untouched exactly as the slow path would).
+        self.direct_ports: dict[int, OutputPort] = {}
 
     def receive(self, packet: Packet) -> None:
         """Forward toward ``packet.dst``."""
+        port = self.direct_ports.get(packet.dst)
+        if port is not None:
+            port.send(packet)
+            return
         routing = self.routing
         if routing is None:
             raise RoutingError(f"switch {self.name} has no routing installed")
@@ -114,6 +123,7 @@ class Host(Node):
                 san.on_corrupt_drop(packet)
             if self.sim.tracer.enabled:
                 self.sim.trace(self.name, "corrupt-drop", flow=packet.flow_id, seq=packet.seq)
+            packet.release()
             return
         handler = self.handlers.get(packet.flow_id)
         if handler is None:
@@ -122,6 +132,7 @@ class Host(Node):
                 san.on_stray(packet)
             if self.sim.tracer.enabled:
                 self.sim.trace(self.name, "stray", flow=packet.flow_id, seq=packet.seq)
+            packet.release()
             return
         if san is not None:
             san.on_deliver(packet)

@@ -36,6 +36,7 @@ class Packet:
     __slots__ = (
         "flow_id",
         "kind",
+        "is_control",
         "seq",
         "src",
         "dst",
@@ -52,6 +53,8 @@ class Packet:
         "ts",
         "ts_echo",
         "retx",
+        "_pool",
+        "_freed",
     )
 
     def __init__(
@@ -74,6 +77,11 @@ class Packet:
     ) -> None:
         self.flow_id = flow_id
         self.kind = kind
+        # Maintained as a plain attribute (not a property) because the queue
+        # disciplines read it once per offered packet: ACKs, NACKs, and
+        # trimmed headers ride the priority/control queue.  ``trim()`` is the
+        # only mutation that changes the classification after construction.
+        self.is_control = kind != PacketType.DATA
         self.seq = seq
         self.src = src
         self.dst = dst
@@ -90,19 +98,27 @@ class Packet:
         self.ts = ts
         self.ts_echo = ts_echo
         self.retx = retx
+        # Pool bookkeeping (see repro.net.pool): set once by the owning
+        # PacketPool right after construction; None for hand-built packets.
+        self._pool = None
+        self._freed = False
 
-    # -- classification -----------------------------------------------------
+    def release(self) -> None:
+        """Hand this packet back to its pool (no-op for unpooled packets).
 
-    @property
-    def is_control(self) -> bool:
-        """ACKs, NACKs, and trimmed headers ride the priority/control queue."""
-        return self.kind != PacketType.DATA or self.trimmed
+        Call exactly once, from the component that *terminates* the packet;
+        the reference the caller still holds must die with its frame.
+        """
+        pool = self._pool
+        if pool is not None:
+            pool.give(self)
 
     # -- mutation on the data path -------------------------------------------
 
     def trim(self, header_bytes: int = HEADER_BYTES) -> None:
         """Cut the payload, leaving a header-only packet (switch trimming)."""
         self.trimmed = True
+        self.is_control = True
         self.payload_bytes = 0
         self.size_bytes = header_bytes
 

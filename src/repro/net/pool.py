@@ -1,0 +1,255 @@
+"""Free-list packet pooling.
+
+Every data packet, ACK, and NACK in a run is a short-lived slotted object:
+built at a host NIC, carried through a handful of queues, and dead within a
+few RTTs.  A :class:`PacketPool` recycles those carcasses through a free
+list so steady-state traffic allocates no new objects at all — the pool's
+``data``/``ack``/``nack`` constructors mirror the :mod:`repro.net.packet`
+``make_*`` helpers but reinitialize a pooled packet in place when one is
+available.
+
+Ownership contract:
+
+* The component that *terminates* a packet releases it: a sender releases
+  the ACK/NACK it consumed, a receiver releases a data packet once its ACK
+  batch no longer needs it, ports release packets they drop (link down,
+  blackhole, queue overflow, wire loss), hosts release corrupt/stray
+  arrivals, and a trimming proxy releases absorbed headers.
+* Forwarding is NOT termination: proxies re-send the same object, so the
+  release happens at the far end.
+* ``Packet.release()`` on a packet that never came from a pool is a no-op,
+  which keeps hand-built packets (tests, tools) safe.
+
+Safety rails: releasing the same packet twice raises immediately (cheap
+flag check, always on).  With ``sanitize`` enabled the pool also verifies
+at *acquire* time — via ``sys.getrefcount`` — that nothing still references
+a packet about to be recycled; acquire time is the reliable place to check
+because the releasing call stack (which legitimately still holds the
+packet) has exited by then.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import TYPE_CHECKING
+
+from repro.errors import SanitizerError
+from repro.net.packet import HEADER_BYTES, Packet, PacketType
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+#: ``sys.getrefcount(packet)`` for a packet freshly popped off the free
+#: list with no leaked references: the local variable plus the getrefcount
+#: argument itself.
+_CLEAN_REFCOUNT = 2
+
+
+class PacketPool:
+    """Recycles dead packets through a free list."""
+
+    __slots__ = ("_free", "sanitize", "allocated", "reused", "released")
+
+    def __init__(self, sanitize: bool = False) -> None:
+        self._free: list[Packet] = []
+        #: verify at acquire time that recycled packets are unreferenced
+        self.sanitize = sanitize
+        self.allocated = 0
+        self.reused = 0
+        self.released = 0
+
+    # -- internals ----------------------------------------------------------
+
+    def _take(self) -> Packet | None:
+        free = self._free
+        if not free:
+            return None
+        packet = free.pop()
+        if self.sanitize and sys.getrefcount(packet) != _CLEAN_REFCOUNT:
+            raise SanitizerError(
+                f"pool reuse of a packet still referenced elsewhere "
+                f"(refcount {sys.getrefcount(packet)}, expected "
+                f"{_CLEAN_REFCOUNT}): {packet!r} — some component kept a "
+                f"packet past its release()"
+            )
+        packet._freed = False
+        self.reused += 1
+        return packet
+
+    def give(self, packet: Packet) -> None:
+        """Return ``packet`` to the free list (packets call this via
+        :meth:`~repro.net.packet.Packet.release`)."""
+        if packet._freed:
+            raise SanitizerError(f"packet released twice: {packet!r}")
+        packet._freed = True
+        self.released += 1
+        self._free.append(packet)
+
+    def __len__(self) -> int:
+        """Packets currently sitting in the free list."""
+        return len(self._free)
+
+    def stats(self) -> dict[str, int]:
+        """Snapshot for reports and benchmarks."""
+        return {
+            "allocated": self.allocated,
+            "reused": self.reused,
+            "released": self.released,
+            "free": len(self._free),
+        }
+
+    # -- constructors (mirror repro.net.packet.make_*) ----------------------
+
+    def data(
+        self,
+        flow_id: int,
+        seq: int,
+        src: int,
+        dst: int,
+        payload_bytes: int,
+        *,
+        stops: tuple[int, ...] = (),
+        return_stops: tuple[int, ...] = (),
+        ts: int = -1,
+        retx: int = 0,
+        header_bytes: int = HEADER_BYTES,
+    ) -> Packet:
+        """Pooled equivalent of :func:`repro.net.packet.make_data`."""
+        packet = self._take()
+        if packet is None:
+            self.allocated += 1
+            packet = Packet(
+                flow_id,
+                PacketType.DATA,
+                seq,
+                src,
+                dst,
+                stops=stops,
+                return_stops=return_stops,
+                payload_bytes=payload_bytes,
+                header_bytes=header_bytes,
+                ts=ts,
+                retx=retx,
+            )
+            packet._pool = self
+            return packet
+        packet.flow_id = flow_id
+        packet.kind = PacketType.DATA
+        packet.is_control = False
+        packet.seq = seq
+        packet.src = src
+        packet.dst = dst
+        packet.stops = stops
+        packet.return_stops = return_stops
+        packet.payload_bytes = payload_bytes
+        packet.size_bytes = payload_bytes + header_bytes
+        packet.trimmed = False
+        packet.corrupted = False
+        packet.ecn_ce = False
+        packet.ecn_echo = False
+        packet.ack_seq = -1
+        packet.echo_seq = -1
+        packet.ts = ts
+        packet.ts_echo = -1
+        packet.retx = retx
+        return packet
+
+    def ack(
+        self,
+        flow_id: int,
+        src: int,
+        dst: int,
+        *,
+        ack_seq: int,
+        echo_seq: int,
+        ecn_echo: bool,
+        ts_echo: int,
+        stops: tuple[int, ...] = (),
+        ts: int = -1,
+    ) -> Packet:
+        """Pooled equivalent of :func:`repro.net.packet.make_ack`."""
+        packet = self._take()
+        if packet is None:
+            self.allocated += 1
+            packet = Packet(
+                flow_id,
+                PacketType.ACK,
+                echo_seq,
+                src,
+                dst,
+                stops=stops,
+                ack_seq=ack_seq,
+                echo_seq=echo_seq,
+                ts=ts,
+                ts_echo=ts_echo,
+            )
+            packet._pool = self
+            packet.ecn_echo = ecn_echo
+            return packet
+        packet.flow_id = flow_id
+        packet.kind = PacketType.ACK
+        packet.is_control = True
+        packet.seq = echo_seq
+        packet.src = src
+        packet.dst = dst
+        packet.stops = stops
+        packet.return_stops = ()
+        packet.payload_bytes = 0
+        packet.size_bytes = HEADER_BYTES
+        packet.trimmed = False
+        packet.corrupted = False
+        packet.ecn_ce = False
+        packet.ecn_echo = ecn_echo
+        packet.ack_seq = ack_seq
+        packet.echo_seq = echo_seq
+        packet.ts = ts
+        packet.ts_echo = ts_echo
+        packet.retx = 0
+        return packet
+
+    def nack(
+        self,
+        flow_id: int,
+        seq: int,
+        src: int,
+        dst: int,
+        *,
+        ts_echo: int = -1,
+        stops: tuple[int, ...] = (),
+    ) -> Packet:
+        """Pooled equivalent of :func:`repro.net.packet.make_nack`."""
+        packet = self._take()
+        if packet is None:
+            self.allocated += 1
+            packet = Packet(
+                flow_id,
+                PacketType.NACK,
+                seq,
+                src,
+                dst,
+                stops=stops,
+                echo_seq=seq,
+                ts_echo=ts_echo,
+            )
+            packet._pool = self
+            return packet
+        packet.flow_id = flow_id
+        packet.kind = PacketType.NACK
+        packet.is_control = True
+        packet.seq = seq
+        packet.src = src
+        packet.dst = dst
+        packet.stops = stops
+        packet.return_stops = ()
+        packet.payload_bytes = 0
+        packet.size_bytes = HEADER_BYTES
+        packet.trimmed = False
+        packet.corrupted = False
+        packet.ecn_ce = False
+        packet.ecn_echo = False
+        packet.ack_seq = -1
+        packet.echo_seq = seq
+        packet.ts = -1
+        packet.ts_echo = ts_echo
+        packet.retx = 0
+        return packet

@@ -6,16 +6,29 @@ dequeued when transmission starts, finishes serializing after
 ``size * 8 / rate``, and arrives at the far node one propagation delay
 after that.  The next packet may start serializing the instant the
 previous one finishes.
+
+Hot-path layout: serialization and wire propagation are the two most
+frequent events in a run, so both are scheduled through the simulator's
+``schedule_call`` fast path with prebound methods — no ``functools.partial``
+(or Event handle) is allocated per packet.  The packet mid-serialization
+sits in ``_serializing``; packets in flight sit in the ``_wire`` deque,
+which is FIFO-correct because a port's propagation delay is constant, so
+arrivals complete in transmission order.
 """
 
 from __future__ import annotations
 
-from functools import partial
+from collections import deque
 from typing import TYPE_CHECKING
 
 from repro.net.packet import Packet
 from repro.net.queues import EnqueueOutcome
 from repro.units import PS_PER_S
+
+# Hoisted enum members: an attribute load off the enum class per offered
+# packet is measurable at this call rate.
+_DROPPED = EnqueueOutcome.DROPPED
+_TRIMMED = EnqueueOutcome.TRIMMED
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.node import Node
@@ -43,6 +56,14 @@ class OutputPort:
         "blackholed_packets",
         "corrupted_packets",
         "_ps_per_byte",
+        "_serializing",
+        "_wire",
+        "_tx_cache",
+        "_sched_call",
+        "_tx_cb",
+        "_arrive_cb",
+        "_qoffer",
+        "_qpop",
     )
 
     def __init__(
@@ -75,82 +96,134 @@ class OutputPort:
         self.corrupted_packets = 0
         # Pre-computed serialization cost; exact (80 ps/B) at 100 Gb/s.
         self._ps_per_byte = 8 * PS_PER_S / rate_bps
+        #: the packet currently serializing (None while idle or link-lost)
+        self._serializing: Packet | None = None
+        #: packets in flight toward dst_node, in transmission order
+        self._wire: deque[Packet] = deque()
+        #: size_bytes -> serialization ps; a run sees a handful of sizes,
+        #: so this replaces a float multiply + round() per packet.
+        self._tx_cache: dict[int, int] = {}
+        # Prebound for the two schedules every transmitted packet performs:
+        # the scheduler fast path is called directly (both delays are
+        # non-negative by construction, so the Simulator wrapper's guard is
+        # redundant here) and the bound methods are allocated once instead
+        # of once per packet.
+        self._sched_call = sim.scheduler.schedule_call
+        self._tx_cb = self._tx_done
+        self._arrive_cb = self._arrive
+        self._qoffer = queue.offer
+        self._qpop = queue.pop
         # Build-time registration with the telemetry layer (no-op unless
         # instrumentation is installed); never touched on the data path.
         sim.instrumentation.on_port(self)
 
     def send(self, packet: Packet) -> EnqueueOutcome:
         """Offer ``packet`` to the queue and kick the service loop."""
-        san = self.sim.sanitizer
+        sim = self.sim
+        san = sim.sanitizer
         if not self.up:
             self.dropped_while_down += 1
             if san is not None:
                 san.on_down_drop(packet)
-            if self.sim.tracer.enabled:
-                self.sim.trace(self.name, "drop-down", flow=packet.flow_id, seq=packet.seq)
+            if sim.tracer.enabled:
+                sim.trace(self.name, "drop-down", flow=packet.flow_id, seq=packet.seq)
+            packet.release()
             return EnqueueOutcome.DROPPED
         if self.blackhole_fraction > 0 and self._fault_hits(self.blackhole_fraction):
             self.blackholed_packets += 1
             if san is not None:
                 san.on_blackhole(packet)
-            if self.sim.tracer.enabled:
-                self.sim.trace(self.name, "blackhole", flow=packet.flow_id, seq=packet.seq)
+            if sim.tracer.enabled:
+                sim.trace(self.name, "blackhole", flow=packet.flow_id, seq=packet.seq)
+            packet.release()
             return EnqueueOutcome.DROPPED
         if self.corrupt_fraction > 0 and self._fault_hits(self.corrupt_fraction):
             packet.corrupted = True
             self.corrupted_packets += 1
-            if self.sim.tracer.enabled:
-                self.sim.trace(self.name, "corrupt", flow=packet.flow_id, seq=packet.seq)
+            if sim.tracer.enabled:
+                sim.trace(self.name, "corrupt", flow=packet.flow_id, seq=packet.seq)
         if san is None:
-            outcome = self.queue.offer(packet)
+            outcome = self._qoffer(packet)
         else:
             size_before = packet.size_bytes
-            outcome = self.queue.offer(packet)
+            outcome = self._qoffer(packet)
             san.on_offer(self.queue, packet,
-                         outcome is EnqueueOutcome.DROPPED, size_before)
-        if outcome is EnqueueOutcome.DROPPED:
-            if self.sim.tracer.enabled:
-                self.sim.trace(self.name, "drop", flow=packet.flow_id, seq=packet.seq)
+                         outcome is _DROPPED, size_before)
+        if outcome is _DROPPED:
+            if sim.tracer.enabled:
+                sim.trace(self.name, "drop", flow=packet.flow_id, seq=packet.seq)
+            packet.release()
         else:
-            if outcome is EnqueueOutcome.TRIMMED and self.sim.tracer.enabled:
-                self.sim.trace(self.name, "trim", flow=packet.flow_id, seq=packet.seq)
+            if outcome is _TRIMMED and sim.tracer.enabled:
+                sim.trace(self.name, "trim", flow=packet.flow_id, seq=packet.seq)
             if not self.busy:
                 self._start_service()
         return outcome
 
     def _start_service(self) -> None:
-        packet = self.queue.pop()
+        packet = self._qpop()
         if packet is None:
             self.busy = False
             return
         self.busy = True
-        san = self.sim.sanitizer
-        if san is not None:
-            san.on_tx_start(packet)
-        tx_delay = round(packet.size_bytes * self._ps_per_byte)
-        self.sim.schedule(tx_delay, partial(self._tx_done, packet))
+        sim = self.sim
+        if sim.sanitizer is not None:
+            sim.sanitizer.on_tx_start(packet)
+        size = packet.size_bytes
+        tx_delay = self._tx_cache.get(size)
+        if tx_delay is None:
+            tx_delay = self._tx_cache[size] = round(size * self._ps_per_byte)
+        self._serializing = packet
+        self._sched_call(sim.now + tx_delay, self._tx_cb)
 
-    def _tx_done(self, packet: Packet) -> None:
-        san = self.sim.sanitizer
+    def _tx_done(self) -> None:
+        packet = self._serializing
+        self._serializing = None
+        assert packet is not None
+        sim = self.sim
+        san = sim.sanitizer
         if not self.up:
             # The link died mid-flight: the packet is lost on the wire and
             # the port goes quiet until it comes back up.
             if san is not None:
                 san.on_wire_lost(packet)
+            packet.release()
             self.busy = False
             return
+        size = packet.size_bytes
         self.tx_packets += 1
-        self.tx_bytes += packet.size_bytes
+        self.tx_bytes += size
+        self._wire.append(packet)
+        self._sched_call(sim.now + self.delay_ps, self._arrive_cb)
+        # Back-to-back service: the next packet (if any) starts serializing
+        # immediately; _start_service is inlined because this is where most
+        # service starts happen under load.
+        nxt = self._qpop()
+        if nxt is None:
+            self.busy = False
+            return
+        if san is not None:
+            san.on_tx_start(nxt)
+        size = nxt.size_bytes
+        tx_delay = self._tx_cache.get(size)
+        if tx_delay is None:
+            tx_delay = self._tx_cache[size] = round(size * self._ps_per_byte)
+        self._serializing = nxt
+        self._sched_call(sim.now + tx_delay, self._tx_cb)
+
+    def _arrive(self) -> None:
+        # Constant propagation delay + in-order scheduling means the oldest
+        # wire packet is always the one landing now.
+        packet = self._wire.popleft()
+        san = self.sim.sanitizer
         if san is None:
-            self.sim.schedule(self.delay_ps, partial(self.dst_node.receive, packet))
+            # Looked up per arrival (not prebound): tests and fault hooks
+            # legitimately swap a node's receive method.
+            self.dst_node.receive(packet)
         else:
             # Route the landing through the sanitizer so the in-transit
             # tally stays exact.
-            self.sim.schedule(self.delay_ps, partial(san.deliver, self.dst_node, packet))
-        if self.queue.is_empty:
-            self.busy = False
-        else:
-            self._start_service()
+            san.deliver(self.dst_node, packet)
 
     def _fault_hits(self, fraction: float) -> bool:
         """Bernoulli trial on the port's dedicated fault substream.

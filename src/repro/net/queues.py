@@ -37,6 +37,13 @@ class EnqueueOutcome(IntEnum):
     TRIMMED = 2
 
 
+# Hoisted enum members for the offer hot paths: an attribute load off the
+# enum class per offered packet is measurable at this call rate.
+_ENQUEUED = EnqueueOutcome.ENQUEUED
+_DROPPED = EnqueueOutcome.DROPPED
+_TRIMMED = EnqueueOutcome.TRIMMED
+
+
 class QueueStats:
     """Counters every queue maintains."""
 
@@ -67,6 +74,8 @@ class QueueStats:
 class DropTailQueue:
     """FIFO with a byte-capacity limit."""
 
+    __slots__ = ("capacity_bytes", "occupied_bytes", "stats", "_fifo")
+
     def __init__(self, capacity_bytes: int) -> None:
         if capacity_bytes <= 0:
             raise ValueError(f"queue capacity must be positive, got {capacity_bytes}")
@@ -77,12 +86,22 @@ class DropTailQueue:
 
     def offer(self, packet: Packet) -> EnqueueOutcome:
         """Accept or drop ``packet``."""
-        if self.occupied_bytes + packet.size_bytes > self.capacity_bytes:
-            self.stats.dropped += 1
-            self.stats.dropped_bytes += packet.size_bytes
-            return EnqueueOutcome.DROPPED
-        self._push(packet)
-        return EnqueueOutcome.ENQUEUED
+        # The enqueue bookkeeping (_push) is inlined here and in the
+        # EcnQueue/TrimmingQueue offers: one offer per forwarded packet makes
+        # these the busiest queue methods in a run.
+        size = packet.size_bytes
+        occupied = self.occupied_bytes + size
+        stats = self.stats
+        if occupied > self.capacity_bytes:
+            stats.dropped += 1
+            stats.dropped_bytes += size
+            return _DROPPED
+        self._fifo.append(packet)
+        self.occupied_bytes = occupied
+        stats.enqueued += 1
+        if occupied > stats.max_occupied_bytes:
+            stats.max_occupied_bytes = occupied
+        return _ENQUEUED
 
     def pop(self) -> Packet | None:
         """Remove and return the head packet, or None when empty."""
@@ -92,13 +111,6 @@ class DropTailQueue:
         self.occupied_bytes -= packet.size_bytes
         self.stats.dequeued += 1
         return packet
-
-    def _push(self, packet: Packet) -> None:
-        self._fifo.append(packet)
-        self.occupied_bytes += packet.size_bytes
-        self.stats.enqueued += 1
-        if self.occupied_bytes > self.stats.max_occupied_bytes:
-            self.stats.max_occupied_bytes = self.occupied_bytes
 
     def __len__(self) -> int:
         return len(self._fifo)
@@ -114,6 +126,8 @@ class EcnQueue(DropTailQueue):
     The marking decision happens at enqueue time against the instantaneous
     occupancy, which is how htsim's random-early-marking queues behave.
     """
+
+    __slots__ = ("ecn_low_bytes", "ecn_high_bytes", "_rng")
 
     def __init__(
         self,
@@ -133,27 +147,33 @@ class EcnQueue(DropTailQueue):
         self._rng = rng
 
     def offer(self, packet: Packet) -> EnqueueOutcome:
-        if self.occupied_bytes + packet.size_bytes > self.capacity_bytes:
-            self.stats.dropped += 1
-            self.stats.dropped_bytes += packet.size_bytes
-            return EnqueueOutcome.DROPPED
-        if not packet.is_control:
-            self._maybe_mark(packet, self.occupied_bytes)
-        self._push(packet)
-        return EnqueueOutcome.ENQUEUED
-
-    def _maybe_mark(self, packet: Packet, occupancy: int) -> None:
-        if occupancy <= self.ecn_low_bytes:
-            return
-        if occupancy >= self.ecn_high_bytes:
-            packet.ecn_ce = True
-            self.stats.marked += 1
-            return
-        span = self.ecn_high_bytes - self.ecn_low_bytes
-        probability = (occupancy - self.ecn_low_bytes) / span
-        if self._rng.random() < probability:
-            packet.ecn_ce = True
-            self.stats.marked += 1
+        size = packet.size_bytes
+        occupancy = self.occupied_bytes
+        stats = self.stats
+        if occupancy + size > self.capacity_bytes:
+            stats.dropped += 1
+            stats.dropped_bytes += size
+            return _DROPPED
+        # Inline of _maybe_mark against the pre-enqueue occupancy; the RNG is
+        # consulted under exactly the same condition so draw order (and with
+        # it every digest) is unchanged.
+        if not packet.is_control and occupancy > self.ecn_low_bytes:
+            if occupancy >= self.ecn_high_bytes:
+                packet.ecn_ce = True
+                stats.marked += 1
+            elif self._rng.random() < (
+                (occupancy - self.ecn_low_bytes)
+                / (self.ecn_high_bytes - self.ecn_low_bytes)
+            ):
+                packet.ecn_ce = True
+                stats.marked += 1
+        self._fifo.append(packet)
+        occupancy += size
+        self.occupied_bytes = occupancy
+        stats.enqueued += 1
+        if occupancy > stats.max_occupied_bytes:
+            stats.max_occupied_bytes = occupancy
+        return _ENQUEUED
 
 
 class TrimmingQueue:
@@ -165,6 +185,10 @@ class TrimmingQueue:
     and re-offered to the control lane (NDP-style).  Only a full control lane
     actually drops.
     """
+
+    __slots__ = ("capacity_bytes", "control_capacity_bytes", "ecn_low_bytes",
+                 "ecn_high_bytes", "occupied_bytes", "data_bytes",
+                 "control_bytes", "stats", "_rng", "_data", "_control")
 
     def __init__(
         self,
@@ -195,17 +219,46 @@ class TrimmingQueue:
 
     def offer(self, packet: Packet) -> EnqueueOutcome:
         """Enqueue, trim, or drop ``packet``."""
+        # Both lanes are inlined (no _offer_control/_maybe_mark/_account
+        # calls): trimming schemes funnel every data packet *and* every
+        # ACK/NACK through this method.  The trim path still delegates to
+        # _offer_control — it is rare and re-checks the control budget.
+        size = packet.size_bytes
+        stats = self.stats
         if packet.is_control:
-            return self._offer_control(packet, EnqueueOutcome.ENQUEUED)
-        if self.data_bytes + packet.size_bytes > self.capacity_bytes:
-            packet.trim()
-            self.stats.trimmed += 1
-            return self._offer_control(packet, EnqueueOutcome.TRIMMED)
-        self._maybe_mark(packet)
-        self._data.append(packet)
-        self.data_bytes += packet.size_bytes
-        self._account_enqueue(packet)
-        return EnqueueOutcome.ENQUEUED
+            if self.control_bytes + size > self.control_capacity_bytes:
+                stats.dropped += 1
+                stats.dropped_bytes += size
+                return _DROPPED
+            self._control.append(packet)
+            self.control_bytes += size
+        else:
+            occupancy = self.data_bytes
+            if occupancy + size > self.capacity_bytes:
+                packet.trim()
+                stats.trimmed += 1
+                return self._offer_control(packet, _TRIMMED)
+            # Inline ECN marking against the data-lane occupancy; the RNG is
+            # consulted under exactly the same condition as before, so draw
+            # order (and every digest) is unchanged.
+            if occupancy > self.ecn_low_bytes:
+                if occupancy >= self.ecn_high_bytes:
+                    packet.ecn_ce = True
+                    stats.marked += 1
+                elif self._rng.random() < (
+                    (occupancy - self.ecn_low_bytes)
+                    / (self.ecn_high_bytes - self.ecn_low_bytes)
+                ):
+                    packet.ecn_ce = True
+                    stats.marked += 1
+            self._data.append(packet)
+            self.data_bytes = occupancy + size
+        occupied = self.occupied_bytes + size
+        self.occupied_bytes = occupied
+        stats.enqueued += 1
+        if occupied > stats.max_occupied_bytes:
+            stats.max_occupied_bytes = occupied
+        return _ENQUEUED
 
     def pop(self) -> Packet | None:
         """Dequeue, control lane first."""
@@ -225,7 +278,7 @@ class TrimmingQueue:
         if self.control_bytes + packet.size_bytes > self.control_capacity_bytes:
             self.stats.dropped += 1
             self.stats.dropped_bytes += packet.size_bytes
-            return EnqueueOutcome.DROPPED
+            return _DROPPED
         self._control.append(packet)
         self.control_bytes += packet.size_bytes
         self._account_enqueue(packet)
@@ -237,19 +290,6 @@ class TrimmingQueue:
         if self.occupied_bytes > self.stats.max_occupied_bytes:
             self.stats.max_occupied_bytes = self.occupied_bytes
 
-    def _maybe_mark(self, packet: Packet) -> None:
-        occupancy = self.data_bytes
-        if occupancy <= self.ecn_low_bytes:
-            return
-        if occupancy >= self.ecn_high_bytes:
-            packet.ecn_ce = True
-            self.stats.marked += 1
-            return
-        span = self.ecn_high_bytes - self.ecn_low_bytes
-        if self._rng.random() < (occupancy - self.ecn_low_bytes) / span:
-            packet.ecn_ce = True
-            self.stats.marked += 1
-
     def __len__(self) -> int:
         return len(self._data) + len(self._control)
 
@@ -260,6 +300,9 @@ class TrimmingQueue:
 
 class HostQueue:
     """An end-host NIC queue: big FIFO, optional control-priority lane."""
+
+    __slots__ = ("capacity_bytes", "control_priority", "occupied_bytes",
+                 "stats", "_data", "_control")
 
     def __init__(
         self,
@@ -280,7 +323,7 @@ class HostQueue:
         if self.occupied_bytes + packet.size_bytes > self.capacity_bytes:
             self.stats.dropped += 1
             self.stats.dropped_bytes += packet.size_bytes
-            return EnqueueOutcome.DROPPED
+            return _DROPPED
         if self.control_priority and packet.is_control:
             self._control.append(packet)
         else:
@@ -289,7 +332,7 @@ class HostQueue:
         self.stats.enqueued += 1
         if self.occupied_bytes > self.stats.max_occupied_bytes:
             self.stats.max_occupied_bytes = self.occupied_bytes
-        return EnqueueOutcome.ENQUEUED
+        return _ENQUEUED
 
     def pop(self) -> Packet | None:
         """Dequeue, control lane first when priority is enabled."""

@@ -77,12 +77,27 @@ class SprayRouting(RoutingStrategy):
     """Per-packet spraying: uniform random pick among equal-cost hops."""
 
     def next_hop(self, switch: "Switch", packet: Packet) -> int:
-        options = self.candidates(switch, packet)
-        if len(options) == 1:
+        try:
+            options = self._tables[switch.id][packet.dst]
+        except KeyError:
+            raise RoutingError(
+                f"switch {switch.name} has no route to node {packet.dst}"
+            ) from None
+        n = len(options)
+        if n == 1:
             return options[0]
         rng = switch.spray_rng
         assert rng is not None, "finalize() assigns spray RNGs"
-        return options[rng.randrange(len(options))]
+        # Inline of Random.randrange(n) -> _randbelow(n): the getrandbits
+        # call sequence is identical to the stdlib's, so the spray draw
+        # order — and with it every recorded digest — is unchanged.  This
+        # skips two pure-Python stdlib frames per sprayed packet.
+        getrandbits = rng.getrandbits
+        k = n.bit_length()
+        r = getrandbits(k)
+        while r >= n:
+            r = getrandbits(k)
+        return options[r]
 
 
 class EcmpRouting(RoutingStrategy):

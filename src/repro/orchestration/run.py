@@ -25,9 +25,7 @@ from repro.orchestration.central import CentralOrchestrator
 from repro.orchestration.decentralized import DecentralizedSelector
 from repro.orchestration.policies import least_loaded, make_round_robin
 from repro.orchestration.state import ProxyRegistry
-from repro.proxy.naive import NaiveProxy
-from repro.proxy.streamlined import StreamlinedProxy
-from repro.proxy.trimless import TrimlessStreamlinedProxy
+from repro.schemes import SCHEME_REGISTRY
 from repro.sim.rng import derive_stream
 from repro.sim.simulator import Simulator
 from repro.topology.interdc import build_interdc
@@ -85,7 +83,8 @@ def run_concurrent_incasts(
     """
     if strategy not in STRATEGIES:
         raise OrchestrationError(f"unknown strategy {strategy!r}; pick from {STRATEGIES}")
-    if scheme == "baseline":
+    spec = SCHEME_REGISTRY.get(scheme)  # validates; lists registered names
+    if spec.plane == "direct":
         strategy = "none"
     if not jobs:
         raise OrchestrationError("need at least one incast job")
@@ -93,7 +92,8 @@ def run_concurrent_incasts(
     interdc = interdc if interdc is not None else paper_interdc_config()
     transport = transport if transport is not None else TransportConfig()
     sim = Simulator(seed=seed)
-    trimming = scheme == "streamlined" and strategy != "none"
+    # A "none" strategy runs every job direct, so trimming would only hurt.
+    trimming = spec.trimming and strategy != "none"
     topo = build_interdc(sim, interdc.with_trimming(trimming))
     net = topo.net
     dc0, dc1 = topo.fabrics
@@ -138,13 +138,13 @@ def run_concurrent_incasts(
     def proxy_app(host_id: int):
         app = proxies_on_host.get(host_id)
         if app is None:
-            host = hosts_by_id[host_id]
-            if scheme == "naive":
-                app = NaiveProxy(net, host, transport)
-            elif scheme == "trimless":
-                app = TrimlessStreamlinedProxy(sim, host)
-            else:
-                app = StreamlinedProxy(sim, host)
+            assert spec.make_proxy is not None  # direct schemes never get here
+            app = spec.make_proxy(
+                sim, net, hosts_by_id[host_id],
+                transport=transport,
+                detector=None,
+                processing_delay=None,
+            )
             proxies_on_host[host_id] = app
         return app
 
@@ -209,7 +209,7 @@ def run_concurrent_incasts(
                         label=f"{job.name}:{sender_index}",
                     )
                     conn.start()
-                elif scheme == "naive":
+                elif spec.plane == "relay":
                     flow = proxy_app(host_id).relay(
                         src, dst, nbytes,
                         on_receiver_complete=flow_done,

@@ -20,7 +20,7 @@ from functools import partial
 from typing import TYPE_CHECKING, Callable
 
 from repro.errors import ProxyError
-from repro.net.packet import Packet, PacketType, make_nack
+from repro.net.packet import Packet, PacketType
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.node import Host
@@ -70,6 +70,7 @@ class StreamlinedProxy:
         self.flows: set[int] = set()
         self.crashed = False
         self.crashes = 0
+        self._pool = sim.packet_pool
         sim.instrumentation.on_proxy(self)
 
     # -- wiring ------------------------------------------------------------------
@@ -127,7 +128,10 @@ class StreamlinedProxy:
 
     def _process(self, packet: Packet) -> None:
         if self.crashed:
-            return  # packet was in the processing pipeline when we died
+            # Packet was in the processing pipeline when we died; it
+            # terminates here.
+            packet.release()
+            return
         self.stats.packets_processed += 1
         if packet.kind == PacketType.DATA:
             if packet.trimmed:
@@ -150,7 +154,7 @@ class StreamlinedProxy:
 
     def _reflect_nack(self, packet: Packet) -> None:
         self.stats.trimmed_absorbed += 1
-        nack = make_nack(
+        nack = self._pool.nack(
             packet.flow_id,
             packet.seq,
             self.host.id,
@@ -158,4 +162,6 @@ class StreamlinedProxy:
             ts_echo=packet.ts,
         )
         self.stats.nacks_sent += 1
+        # The absorbed header terminates here — only its NACK travels on.
+        packet.release()
         self.host.send(nack)

@@ -17,7 +17,7 @@ from typing import TYPE_CHECKING
 
 from repro.detection.lossdetector import DetectorConfig, FlowTracker, GapLossDetector
 from repro.errors import ProxyError
-from repro.net.packet import Packet, PacketType, make_nack
+from repro.net.packet import Packet, PacketType
 from repro.proxy.streamlined import ProxyStats
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -48,6 +48,7 @@ class TrimlessStreamlinedProxy:
         self._senders: dict[int, int] = {}  # flow -> sender host id
         self._trackers: dict[int, FlowTracker] = {}
         self._flush_armed = False
+        self._pool = sim.packet_pool
         sim.instrumentation.on_proxy(self)
 
     # -- wiring -------------------------------------------------------------------
@@ -108,6 +109,7 @@ class TrimlessStreamlinedProxy:
 
     def _handle(self, packet: Packet) -> None:
         if self.crashed:
+            packet.release()  # dead process: the packet terminates here
             return
         self.stats.packets_processed += 1
         if packet.kind == PacketType.DATA:
@@ -136,7 +138,7 @@ class TrimlessStreamlinedProxy:
         sender = self._senders.get(flow_id)
         if sender is None:
             return  # gap before any packet carries the sender id: impossible
-        nack = make_nack(flow_id, seq, self.host.id, sender, ts_echo=approx_ts)
+        nack = self._pool.nack(flow_id, seq, self.host.id, sender, ts_echo=approx_ts)
         self.stats.nacks_sent += 1
         self.host.send(nack)
 

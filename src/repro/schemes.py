@@ -1,0 +1,421 @@
+"""The scheme registry: every incast scheme as declarative data.
+
+Historically each harness (:func:`repro.experiments.runner.run_incast`,
+:func:`repro.experiments.convergence.measure_convergence`,
+:func:`repro.orchestration.run.run_concurrent_incasts`) carried its own
+``if scheme == ...`` ladder, and adding a scheme meant editing all three.
+A :class:`SchemeSpec` now captures everything a harness needs to know:
+
+* ``trimming`` — whether the fabric is built with switch trimming enabled;
+* ``plane`` — how flows are wired: ``"direct"`` (no proxy), ``"relay"``
+  (split connections terminated at the proxy, Naive-style), or ``"via"``
+  (one end-to-end connection loose-source-routed through the proxy);
+* ``make_proxy`` — the per-host proxy application factory (``None`` for
+  direct schemes);
+* ``wire`` — the full incast wiring used by ``run_incast`` (flow creation,
+  callbacks, hot-standby/failover plumbing);
+* ``display_name`` / ``crash_semantics`` — for figures, docs, and the
+  fault tooling.
+
+Third parties extend the simulator by registering their own spec::
+
+    from repro.schemes import SCHEME_REGISTRY, SchemeWiring, register_scheme
+
+    @register_scheme("myscheme", display_name="My Scheme", trimming=False)
+    def wire_myscheme(ctx):
+        wiring = SchemeWiring()
+        ...  # build Connections against ctx.net / ctx.senders / ctx.receiver
+        return wiring
+
+After registration ``IncastScenario(scheme="myscheme")`` validates, runs
+through :func:`~repro.experiments.runner.run_incast`, and participates in
+the parallel engine's result cache like any built-in scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.errors import ExperimentError
+from repro.faults.failover import FailoverManager
+from repro.proxy.naive import NaiveProxy
+from repro.proxy.placement import pick_proxy_host
+from repro.proxy.streamlined import StreamlinedProxy
+from repro.proxy.trimless import TrimlessStreamlinedProxy
+from repro.transport.connection import Connection
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.config import TransportConfig
+    from repro.detection.lossdetector import DetectorConfig
+    from repro.net.network import Network
+    from repro.net.node import Host
+    from repro.sim.simulator import Simulator
+
+#: ``make_proxy(sim, net, host, *, transport, detector, processing_delay,
+#: label="")`` — every proxy flavour is built through this one signature so
+#: harnesses stay scheme-agnostic.
+ProxyFactory = Callable[..., Any]
+
+
+@dataclass
+class SchemeContext:
+    """Everything :func:`SchemeSpec.wire` needs to wire one incast.
+
+    ``scenario`` is the :class:`~repro.experiments.runner.IncastScenario`
+    being run (typed loosely to keep this module import-light).
+    ``make_on_done(i)`` / ``make_on_fail(i)`` build the per-flow completion
+    and failure callbacks for flow index ``i``.
+    """
+
+    sim: "Simulator"
+    net: "Network"
+    fabrics: tuple[Any, Any]
+    scenario: Any
+    receiver: "Host"
+    senders: list["Host"]
+    sizes: list[int]
+    make_on_done: Callable[[int], Callable[[Any], None]]
+    make_on_fail: Callable[[int], Callable[[Any], None]]
+
+
+@dataclass
+class SchemeWiring:
+    """What wiring an incast produced: the handles the runner reports on."""
+
+    #: WindowedSender endpoints whose stats feed the result
+    senders: list[Any] = field(default_factory=list)
+    #: proxy applications by role ("primary", "backup")
+    proxies: dict[str, Any] = field(default_factory=dict)
+    #: hosts those proxies live on, by the same role keys
+    proxy_hosts: dict[str, Any] = field(default_factory=dict)
+    #: proxies whose ``stats.nacks_sent`` the result aggregates
+    nack_proxies: list[Any] = field(default_factory=list)
+    #: failover manager, when the scheme runs a hot standby
+    manager: FailoverManager | None = None
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """One scheme, fully described."""
+
+    name: str
+    display_name: str
+    #: build the fabric with switch trimming enabled
+    trimming: bool
+    #: "direct" | "relay" | "via" — how flows traverse the proxy (if any)
+    plane: str
+    #: the crash-recovery contract, for docs and the fault tooling
+    crash_semantics: str
+    #: per-host proxy application factory; None for direct schemes
+    make_proxy: ProxyFactory | None
+    #: full incast wiring (flows, callbacks, failover) for run_incast
+    wire: Callable[[SchemeContext], SchemeWiring]
+
+    def __post_init__(self) -> None:
+        if self.plane not in ("direct", "relay", "via"):
+            raise ExperimentError(
+                f"scheme {self.name!r}: plane must be direct/relay/via, "
+                f"got {self.plane!r}"
+            )
+        if self.plane != "direct" and self.make_proxy is None:
+            raise ExperimentError(
+                f"scheme {self.name!r}: a {self.plane!r}-plane scheme needs "
+                "a make_proxy factory"
+            )
+
+
+class SchemeRegistry:
+    """Name -> :class:`SchemeSpec`, in registration order."""
+
+    def __init__(self) -> None:
+        self._specs: dict[str, SchemeSpec] = {}
+
+    def register(self, spec: SchemeSpec, *, replace: bool = False) -> SchemeSpec:
+        """Add ``spec``; refuses silent redefinition unless ``replace``."""
+        if spec.name in self._specs and not replace:
+            raise ExperimentError(
+                f"scheme {spec.name!r} is already registered; pass "
+                "replace=True to override it"
+            )
+        self._specs[spec.name] = spec
+        return spec
+
+    def unregister(self, name: str) -> None:
+        """Remove a scheme (tests and plugin teardown)."""
+        self._specs.pop(name, None)
+
+    def get(self, name: str) -> SchemeSpec:
+        """Look up a scheme; unknown names list what *is* registered."""
+        spec = self._specs.get(name)
+        if spec is None:
+            raise ExperimentError(
+                f"unknown scheme {name!r}; registered schemes: "
+                f"{', '.join(self._specs)}"
+            )
+        return spec
+
+    def names(self) -> tuple[str, ...]:
+        """All registered scheme names, in registration order."""
+        return tuple(self._specs)
+
+    def trimming_names(self) -> tuple[str, ...]:
+        """Names of schemes whose fabric enables switch trimming."""
+        return tuple(n for n, s in self._specs.items() if s.trimming)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[SchemeSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+#: The process-wide registry every harness consults.
+SCHEME_REGISTRY = SchemeRegistry()
+
+
+def register_scheme(
+    name: str,
+    *,
+    display_name: str | None = None,
+    trimming: bool = False,
+    plane: str = "direct",
+    crash_semantics: str = "unspecified",
+    make_proxy: ProxyFactory | None = None,
+    registry: SchemeRegistry | None = None,
+    replace: bool = False,
+) -> Callable[[Callable[[SchemeContext], SchemeWiring]], Callable[..., Any]]:
+    """Decorator form of registration: wraps a ``wire(ctx)`` function."""
+
+    def decorate(wire: Callable[[SchemeContext], SchemeWiring]):
+        (registry or SCHEME_REGISTRY).register(
+            SchemeSpec(
+                name=name,
+                display_name=display_name if display_name is not None else name,
+                trimming=trimming,
+                plane=plane,
+                crash_semantics=crash_semantics,
+                make_proxy=make_proxy,
+                wire=wire,
+            ),
+            replace=replace,
+        )
+        return wire
+
+    return decorate
+
+
+# -- proxy factories (one unified signature) ---------------------------------
+
+
+def _make_naive_proxy(
+    sim: "Simulator",
+    net: "Network",
+    host: "Host",
+    *,
+    transport: "TransportConfig",
+    detector: "DetectorConfig | None" = None,
+    processing_delay: Callable[[], int] | None = None,
+    label: str = "",
+) -> NaiveProxy:
+    return NaiveProxy(net, host, transport)
+
+
+def _make_streamlined_proxy(
+    sim: "Simulator",
+    net: "Network",
+    host: "Host",
+    *,
+    transport: "TransportConfig",
+    detector: "DetectorConfig | None" = None,
+    processing_delay: Callable[[], int] | None = None,
+    label: str = "",
+) -> StreamlinedProxy:
+    if label:
+        return StreamlinedProxy(
+            sim, host, processing_delay=processing_delay, label=label
+        )
+    return StreamlinedProxy(sim, host, processing_delay=processing_delay)
+
+
+def _make_trimless_proxy(
+    sim: "Simulator",
+    net: "Network",
+    host: "Host",
+    *,
+    transport: "TransportConfig",
+    detector: "DetectorConfig | None" = None,
+    processing_delay: Callable[[], int] | None = None,
+    label: str = "",
+) -> TrimlessStreamlinedProxy:
+    return TrimlessStreamlinedProxy(sim, host, detector)
+
+
+# -- built-in wiring ----------------------------------------------------------
+
+
+def _wire_baseline(ctx: SchemeContext) -> SchemeWiring:
+    wiring = SchemeWiring()
+    for i, (host, size) in enumerate(zip(ctx.senders, ctx.sizes)):
+        conn = Connection(
+            ctx.net, host, ctx.receiver, size, ctx.scenario.transport,
+            on_receiver_complete=ctx.make_on_done(i),
+            on_sender_fail=ctx.make_on_fail(i),
+            label=f"base{i}",
+        )
+        wiring.senders.append(conn.sender)
+        conn.start()
+    return wiring
+
+
+def _wire_naive(ctx: SchemeContext) -> SchemeWiring:
+    wiring = SchemeWiring()
+    scenario = ctx.scenario
+    proxy_host = pick_proxy_host(ctx.fabrics[0], ctx.senders)
+    proxy = _make_naive_proxy(
+        ctx.sim, ctx.net, proxy_host, transport=scenario.transport
+    )
+    wiring.proxies["primary"] = proxy
+    wiring.proxy_hosts["primary"] = proxy_host
+    for i, (host, size) in enumerate(zip(ctx.senders, ctx.sizes)):
+        flow = proxy.relay(
+            host, ctx.receiver, size,
+            on_receiver_complete=ctx.make_on_done(i),
+            label=f"naive{i}",
+        )
+        # Either leg giving up kills the relayed flow: a dead inner leg
+        # starves the outer one forever, so both report the same index.
+        flow.inner.sender.on_fail = ctx.make_on_fail(i)
+        flow.outer.sender.on_fail = ctx.make_on_fail(i)
+        wiring.senders.append(flow.inner.sender)
+        wiring.senders.append(flow.outer.sender)
+        flow.start()
+    return wiring
+
+
+def _wire_via(ctx: SchemeContext, make_proxy: ProxyFactory,
+              with_backup: bool) -> SchemeWiring:
+    """Shared wiring for the streamlined family: one end-to-end connection
+    per flow, loose-source-routed through the proxy host."""
+    wiring = SchemeWiring()
+    scenario = ctx.scenario
+    proxy_host = pick_proxy_host(ctx.fabrics[0], ctx.senders)
+    proxy = make_proxy(
+        ctx.sim, ctx.net, proxy_host,
+        transport=scenario.transport,
+        detector=scenario.detector,
+        processing_delay=scenario.proxy_delay_sampler,
+    )
+    wiring.proxies["primary"] = proxy
+    wiring.proxy_hosts["primary"] = proxy_host
+    wiring.nack_proxies.append(proxy)
+    backup = None
+    if with_backup:
+        backup_host = pick_proxy_host(ctx.fabrics[0], [*ctx.senders, proxy_host])
+        backup = make_proxy(
+            ctx.sim, ctx.net, backup_host,
+            transport=scenario.transport,
+            detector=scenario.detector,
+            processing_delay=scenario.proxy_delay_sampler,
+            label=f"sproxy-backup:{backup_host.name}",
+        )
+        wiring.proxies["backup"] = backup
+        wiring.proxy_hosts["backup"] = backup_host
+        wiring.nack_proxies.append(backup)
+    conns = []
+    for i, (host, size) in enumerate(zip(ctx.senders, ctx.sizes)):
+        conn = Connection(
+            ctx.net, host, ctx.receiver, size, scenario.transport,
+            via=(proxy_host,),
+            on_receiver_complete=ctx.make_on_done(i),
+            on_sender_fail=ctx.make_on_fail(i),
+            label=f"{scenario.scheme}{i}",
+        )
+        proxy.attach(conn)
+        if backup is not None:
+            backup.attach(conn)  # inert until reroute_via points here
+        wiring.senders.append(conn.sender)
+        conns.append(conn)
+        conn.start()
+    if backup is not None:
+        wiring.manager = FailoverManager(
+            ctx.sim, proxy, backup, conns, cfg=scenario.failover
+        ).start()
+    return wiring
+
+
+def _wire_streamlined(ctx: SchemeContext) -> SchemeWiring:
+    return _wire_via(ctx, _make_streamlined_proxy, with_backup=False)
+
+
+def _wire_trimless(ctx: SchemeContext) -> SchemeWiring:
+    return _wire_via(ctx, _make_trimless_proxy, with_backup=False)
+
+
+def _wire_proxy_failover(ctx: SchemeContext) -> SchemeWiring:
+    return _wire_via(ctx, _make_streamlined_proxy, with_backup=True)
+
+
+# Registration order defines the public SCHEMES tuple; keep the paper's
+# presentation order (baseline first, variants after).
+SCHEME_REGISTRY.register(SchemeSpec(
+    name="baseline",
+    display_name="Baseline",
+    trimming=False,
+    plane="direct",
+    crash_semantics="no proxy: nothing to crash",
+    make_proxy=None,
+    wire=_wire_baseline,
+))
+SCHEME_REGISTRY.register(SchemeSpec(
+    name="naive",
+    display_name="Proxy (Naive)",
+    trimming=False,
+    plane="relay",
+    crash_semantics=(
+        "split-connection state is process memory: a crash kills every "
+        "in-flight relay for good; restart serves new flows only"
+    ),
+    make_proxy=_make_naive_proxy,
+    wire=_wire_naive,
+))
+SCHEME_REGISTRY.register(SchemeSpec(
+    name="streamlined",
+    display_name="Proxy (Streamlined)",
+    trimming=True,
+    plane="via",
+    crash_semantics=(
+        "stateless forwarding: restart resumes every attached flow; "
+        "packets in the processing pipeline at crash time are lost"
+    ),
+    make_proxy=_make_streamlined_proxy,
+    wire=_wire_streamlined,
+))
+SCHEME_REGISTRY.register(SchemeSpec(
+    name="trimless",
+    display_name="Proxy (Streamlined, trim-free)",
+    trimming=False,
+    plane="via",
+    crash_semantics=(
+        "forwarding resumes on restart but detector state is lost: gaps "
+        "straddling the outage fall back to sender RTO recovery"
+    ),
+    make_proxy=_make_trimless_proxy,
+    wire=_wire_trimless,
+))
+SCHEME_REGISTRY.register(SchemeSpec(
+    name="proxy-failover",
+    display_name="Proxy (Streamlined + hot standby)",
+    trimming=True,
+    plane="via",
+    crash_semantics=(
+        "heartbeat failure detector migrates attached flows to a hot-"
+        "standby proxy; stateless plane makes migration loss-free past "
+        "the packets in flight"
+    ),
+    make_proxy=_make_streamlined_proxy,
+    wire=_wire_proxy_failover,
+))

@@ -8,10 +8,12 @@ a time horizon is reached, or a registered stop predicate fires.
 
 from __future__ import annotations
 
+import gc
 import time
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import SanitizerError, SchedulingError, SimulationError
+from repro.net.pool import PacketPool
 from repro.sim.events import Event
 from repro.sim.rng import RngRegistry
 from repro.sim.scheduler import EventScheduler
@@ -39,6 +41,10 @@ class Simulator:
         #: Opt-in invariant checker (see :mod:`repro.analysis.sanitizer`);
         #: components test ``sim.sanitizer is not None`` on their hot paths.
         self.sanitizer: Sanitizer | None = None
+        #: Free-list recycling for data/ACK/NACK packets (see
+        #: :mod:`repro.net.pool`); endpoints acquire from it and the
+        #: terminating component releases back into it.
+        self.packet_pool = PacketPool()
         #: Opt-in observability (see :mod:`repro.telemetry`); components
         #: register themselves through it at build time, and the run loop
         #: hoists its ``enabled`` flag once per :meth:`run` call.
@@ -55,6 +61,17 @@ class Simulator:
         if delay < 0:
             raise SchedulingError(f"negative delay {delay}")
         return self.scheduler.schedule_at(self.now + delay, callback)
+
+    def schedule_call(self, delay: int, callback: Callable[[], Any]) -> None:
+        """Run ``callback`` after ``delay`` ps with no cancellation handle.
+
+        The fire-and-forget fast path: no :class:`Event` is allocated, so
+        the caller cannot cancel.  Ports use this for serialization and
+        wire-propagation events, which never need cancelling.
+        """
+        if delay < 0:
+            raise SchedulingError(f"negative delay {delay}")
+        self.scheduler.schedule_call(self.now + delay, callback)
 
     def schedule_at(self, time: int, callback: Callable[[], Any]) -> Event:
         """Run ``callback`` at absolute tick ``time`` (must not be in the past)."""
@@ -75,47 +92,88 @@ class Simulator:
         self._running = True
         self._stop_requested = False
         scheduler = self.scheduler
+        pop_tick = scheduler.pop_tick
         # Hoisted once per run: the disabled-instrumentation cost is this
         # single attribute check, not one branch per event.
         inst = self.instrumentation if self.instrumentation.enabled else None
+        sanitizing = self.sanitizer is not None
         executed = 0
+        # The run loop allocates heavily (entry tuples, packets) but builds
+        # no reference cycles, so generational GC passes are pure overhead;
+        # pause collection for the duration and restore on the way out.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
-            while True:
-                if self._stop_requested:
-                    break
-                if max_events is not None and executed >= max_events:
-                    break
-                next_time = scheduler.next_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
-                    self.now = until
-                    break
-                event = scheduler.pop_next()
-                assert event is not None  # next_time() said there is one
-                if self.sanitizer is not None and event.time < self.now:
+            while not self._stop_requested:
+                cap = None
+                if max_events is not None:
+                    cap = max_events - executed
+                    if cap <= 0:
+                        break
+                # One scheduler call per tick: every live entry at the next
+                # timestamp arrives as a single batch (batched dispatch).
+                tick = pop_tick(until, cap)
+                if tick is None:
+                    break  # drained, or horizon reached: clock fix-up below
+                t, entries = tick
+                if sanitizing and t < self.now:
                     # Catches events slipped into the past through the raw
                     # scheduler (Simulator.schedule_at validates up front).
                     raise SanitizerError(
-                        f"clock would move backwards: event at {event.time} "
+                        f"clock would move backwards: event at {t} "
                         f"popped at now={self.now}"
                     )
-                self.now = event.time
-                event.cancelled = True  # consumed; pending -> False
-                if inst is None:
-                    event.callback()
-                else:
-                    callback = event.callback
-                    started = time.perf_counter()  # repro: allow[wall-clock] profiler
-                    callback()
-                    ended = time.perf_counter()  # repro: allow[wall-clock] profiler
-                    inst.on_event(callback, ended - started)
-                executed += 1
+                self.now = t
+                if len(entries) == 1:
+                    # Singleton tick (the common case): dispatch without the
+                    # enumerate/mid-batch-stop machinery — with nothing left
+                    # in the batch, the loop-top check covers stop().
+                    obj = entries[0][2]
+                    if obj.__class__ is Event:
+                        obj.cancelled = True  # consumed; pending -> False
+                        obj = obj.callback
+                    if inst is None:
+                        obj()
+                    else:
+                        started = time.perf_counter()  # repro: allow[wall-clock] profiler
+                        obj()
+                        ended = time.perf_counter()  # repro: allow[wall-clock] profiler
+                        inst.on_event(obj, ended - started)
+                    executed += 1
+                    continue
+                for i, entry in enumerate(entries):
+                    obj = entry[2]
+                    if obj.__class__ is Event:
+                        obj.cancelled = True  # consumed; pending -> False
+                        obj = obj.callback
+                    if inst is None:
+                        obj()
+                    else:
+                        started = time.perf_counter()  # repro: allow[wall-clock] profiler
+                        obj()
+                        ended = time.perf_counter()  # repro: allow[wall-clock] profiler
+                        inst.on_event(obj, ended - started)
+                    executed += 1
+                    if self._stop_requested:
+                        # stop() fired mid-batch: unrun same-tick entries go
+                        # back to the queue so a later run() resumes exactly.
+                        rest = entries[i + 1:]
+                        if rest:
+                            scheduler.unpop(rest)
+                        break
         finally:
+            if gc_was_enabled:
+                gc.enable()
             self._running = False
             self.events_executed += executed
-        if until is not None and scheduler.next_time() is None and self.now < until:
-            self.now = until
+        if until is not None and self.now < until:
+            # Advance the clock to the horizon when the queue drained or the
+            # next event lies beyond it (matching pre-batching semantics);
+            # a stop()/max_events break with work still due keeps the clock.
+            next_time = scheduler.next_time()
+            if next_time is None or next_time > until:
+                self.now = until
         return self.now
 
     def stop(self) -> None:

@@ -1,7 +1,14 @@
 """A restartable one-shot timer.
 
-Transports re-arm their retransmission timers constantly; :class:`Timer`
-wraps the cancel-and-reschedule dance so callers just ``restart(delay)``.
+Transports re-arm their retransmission timers constantly — the RTO and TLP
+timers are pushed back on *every* ACK — so :class:`Timer` keeps re-arming
+off the scheduler's books: ``restart`` normally just moves an integer
+deadline, and the one scheduled wake-up event lazily chases it.  When the
+wake-up fires early (the deadline has moved on) it re-schedules itself for
+the current deadline; the user callback runs exactly at the deadline tick,
+just as an eagerly rescheduled timer would.  Only a deadline moving
+*earlier* than the pending wake-up (e.g. an RTO shrinking after backoff
+resets) pays for a cancel + reschedule.
 """
 
 from __future__ import annotations
@@ -15,42 +22,62 @@ from repro.sim.simulator import Simulator
 class Timer:
     """One-shot timer that can be (re)started and stopped any number of times."""
 
-    __slots__ = ("_sim", "_callback", "_event")
+    __slots__ = ("_sim", "_callback", "_event", "_deadline")
 
     def __init__(self, sim: Simulator, callback: Callable[[], Any]) -> None:
         self._sim = sim
         self._callback = callback
         self._event: Event | None = None
+        #: absolute fire tick while armed; -1 while disarmed
+        self._deadline = -1
 
     @property
     def armed(self) -> bool:
         """True while the timer is counting down."""
-        return self._event is not None and self._event.pending
+        return self._deadline >= 0
 
     @property
     def expires_at(self) -> int | None:
         """Absolute tick the timer will fire at, or None when disarmed."""
-        if self.armed:
-            assert self._event is not None
-            return self._event.time
-        return None
+        deadline = self._deadline
+        return deadline if deadline >= 0 else None
 
     def restart(self, delay: int) -> None:
         """Arm (or re-arm) the timer to fire ``delay`` ps from now."""
-        self.stop()
-        self._event = self._sim.schedule(delay, self._fire)
+        deadline = self._sim.now + delay
+        self._deadline = deadline
+        event = self._event
+        if event is None:
+            self._event = self._sim.schedule(delay, self._wake)
+        elif event.time > deadline:
+            # The deadline moved earlier than the pending wake-up: lazy
+            # chasing would fire late, so reschedule eagerly.
+            event.cancel()
+            self._event = self._sim.schedule(delay, self._wake)
 
     def start_if_idle(self, delay: int) -> None:
         """Arm the timer only if it is not already counting down."""
-        if not self.armed:
+        if self._deadline < 0:
             self.restart(delay)
 
     def stop(self) -> None:
         """Disarm the timer if armed."""
-        if self._event is not None:
-            self._event.cancel()
+        self._deadline = -1
+        event = self._event
+        if event is not None:
+            event.cancel()
             self._event = None
 
-    def _fire(self) -> None:
+    def _wake(self) -> None:
         self._event = None
+        deadline = self._deadline
+        if deadline < 0:
+            return  # stopped after this wake-up was scheduled
+        now = self._sim.now
+        if now < deadline:
+            # The deadline was pushed back since this wake-up was armed;
+            # chase it.
+            self._event = self._sim.schedule(deadline - now, self._wake)
+            return
+        self._deadline = -1
         self._callback()

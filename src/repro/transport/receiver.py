@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Callable
 
 from repro.config import TransportConfig
 from repro.errors import TransportError
-from repro.net.packet import Packet, PacketType, make_ack, make_nack
+from repro.net.packet import Packet, PacketType
 from repro.sim.timers import Timer
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -95,6 +95,7 @@ class AckingReceiver:
         self._batch_marked = False
         self._batch_last: Packet | None = None
         self._closed = False
+        self._pool = sim.packet_pool
         self._delack = Timer(sim, self._flush_ack)
 
     # -- receive path -----------------------------------------------------------
@@ -109,13 +110,22 @@ class AckingReceiver:
         self._delack.stop()
 
     def on_packet(self, packet: Packet) -> None:
-        """Entry point for packets delivered to the receiving host."""
+        """Entry point for packets delivered to the receiving host.
+
+        The receiver terminates everything handed to it except the data
+        packet feeding the current ACK batch, which is held (as
+        ``_batch_last``) until the batch flushes or a newer packet
+        supersedes it.
+        """
         if self._closed:
+            packet.release()
             return
         if packet.kind != PacketType.DATA:
+            packet.release()
             return  # control addressed to a receiver: nothing to do
         if packet.trimmed:
             self._send_nack(packet)
+            packet.release()
             return
         self._accept(packet)
 
@@ -142,6 +152,11 @@ class AckingReceiver:
 
         self._pending_acks += 1
         self._batch_marked = self._batch_marked or packet.ecn_ce
+        prev = self._batch_last
+        if prev is not None:
+            # A newer packet supersedes the held batch tail: the old one's
+            # echo will never be sent, so it is dead now.
+            prev.release()
         self._batch_last = packet
         finished = self.cum >= self.total_packets
         if (
@@ -164,7 +179,7 @@ class AckingReceiver:
             return
         self._delack.stop()
         route = self.return_route
-        ack = make_ack(
+        ack = self._pool.ack(
             self.flow_id,
             self.host.id,
             route[0],
@@ -178,13 +193,14 @@ class AckingReceiver:
         self._pending_acks = 0
         self._batch_marked = False
         self._batch_last = None
+        packet.release()  # echo fields copied into the ACK; the data is dead
         self.stats.acks_sent += 1
         self.host.send(ack)
 
     def _send_nack(self, packet: Packet) -> None:
         self.stats.trimmed_headers += 1
         route = self.return_route
-        nack = make_nack(
+        nack = self._pool.nack(
             self.flow_id,
             packet.seq,
             self.host.id,

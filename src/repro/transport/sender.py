@@ -29,13 +29,13 @@ call :meth:`release` as upstream data arrives (used by the Naive proxy).
 
 from __future__ import annotations
 
-import heapq
+import heapq  # repro: allow[raw-heapq] outstanding-seq heap, not events
 from collections import deque
 from typing import TYPE_CHECKING, Callable
 
 from repro.config import TransportConfig
 from repro.errors import TransportError
-from repro.net.packet import Packet, PacketType, make_data
+from repro.net.packet import Packet, PacketType
 from repro.sim.timers import Timer
 from repro.transport.cc_base import CongestionControl
 from repro.transport.rtt import RttEstimator
@@ -141,6 +141,7 @@ class WindowedSender:
         self._rto = Timer(sim, self._on_rto)
         self._tlp = Timer(sim, self._on_tlp)
         self._wire_ts = 0
+        self._pool = sim.packet_pool
         wire_bytes = cfg.payload_bytes + cfg.header_bytes
         self._wire_step = round(wire_bytes * 8 * 1_000_000_000_000 / host.nic_rate_bps)
 
@@ -205,8 +206,13 @@ class WindowedSender:
         self._tlp.stop()
 
     def on_packet(self, packet: Packet) -> None:
-        """Entry point for ACK/NACK packets delivered to the sending host."""
+        """Entry point for ACK/NACK packets delivered to the sending host.
+
+        The sender terminates every packet handed to it: once the handlers
+        return, the ACK/NACK is dead and goes back to the pool.
+        """
         if self.completed or self.failed or self._closed:
+            packet.release()
             return
         if packet.kind == PacketType.ACK:
             self._on_ack(packet)
@@ -216,6 +222,7 @@ class WindowedSender:
         # production runs but leave a trace for debugging.
         elif self.sim.tracer.enabled:  # pragma: no cover - defensive
             self.sim.trace(self.label, "unexpected-data", seq=packet.seq)
+        packet.release()
 
     # -- internals: ACK/NACK --------------------------------------------------------
 
@@ -352,7 +359,7 @@ class WindowedSender:
     def _transmit(self, seq: int, retransmit: bool) -> None:
         wire_ts = self._next_wire_ts()
         payload = self._tail_payload if seq == self.total_packets - 1 else self._full_payload
-        packet = make_data(
+        packet = self._pool.data(
             self.flow_id,
             seq,
             self.host.id,
@@ -410,7 +417,7 @@ class WindowedSender:
             if probe_seq == self.total_packets - 1
             else self._full_payload
         )
-        packet = make_data(
+        packet = self._pool.data(
             self.flow_id,
             probe_seq,
             self.host.id,

@@ -6,8 +6,16 @@ Never imported by the package or the tests — it exists as ground truth for
 and reports every rule in the catalogue.
 """
 
+import heapq
 import random
 import time
+
+
+def bad_event_queue():
+    """Hand-rolled heapq event queue instead of the kernel scheduler."""
+    queue = []
+    heapq.heappush(queue, (0, "boot"))
+    return heapq.heappop(queue)
 
 
 def bad_jitter():

@@ -81,8 +81,9 @@ class TestEngineOptions:
         [result] = engine.run_incasts([_scenario()])
         assert result.telemetry is not None
 
-    def test_legacy_engine_sanitize_kwarg_folds(self):
-        engine = ExperimentEngine(workers=1, sanitize=True)
+    def test_legacy_engine_sanitize_kwarg_warns_and_folds(self):
+        with pytest.warns(DeprecationWarning, match="RunOptions"):
+            engine = ExperimentEngine(workers=1, sanitize=True)
         assert engine.sanitize is True
         assert engine.options.sanitize is True
         with pytest.raises(AttributeError):

@@ -5,7 +5,12 @@ import pytest
 from repro.analysis.sanitizer import Sanitizer
 from repro.config import TransportConfig, small_interdc_config
 from repro.errors import SanitizerError
-from repro.experiments.runner import SCHEMES, IncastScenario, run_incast
+from repro.experiments.runner import (
+    SCHEMES,
+    IncastScenario,
+    RunOptions,
+    run_incast,
+)
 from repro.faults import blackhole_plan
 from repro.net.packet import make_data
 from repro.proxy.streamlined import StreamlinedProxy
@@ -123,7 +128,7 @@ class TestUnitChecks:
 class TestSanitizedSchemes:
     @pytest.mark.parametrize("scheme", SCHEMES)
     def test_every_scheme_conserves_packets(self, scheme):
-        result = run_incast(_scenario(scheme), sanitize=True)
+        result = run_incast(_scenario(scheme), options=RunOptions(sanitize=True))
         tally = result.conservation
         assert tally is not None
         assert tally["injected_packets"] > 0
@@ -142,7 +147,8 @@ class TestSanitizedSchemes:
             at_ps=0, duration_ps=milliseconds(1), drop_fraction=0.3
         )
         result = run_incast(
-            _scenario("proxy-failover", faults=plan), sanitize=True
+            _scenario("proxy-failover", faults=plan),
+            options=RunOptions(sanitize=True),
         )
         tally = result.conservation
         assert tally is not None

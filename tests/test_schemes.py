@@ -1,0 +1,187 @@
+"""SchemeRegistry dispatch, third-party registration, and deprecation shims."""
+
+import warnings
+from dataclasses import replace
+
+import pytest
+
+from repro._compat import _deprecated, _reset_deprecation_registry
+from repro.config import TransportConfig, small_interdc_config
+from repro.errors import ExperimentError
+from repro.experiments.runner import (
+    SCHEMES,
+    IncastScenario,
+    build_scenario,
+    run_incast,
+)
+from repro.schemes import (
+    SCHEME_REGISTRY,
+    SchemeContext,
+    SchemeSpec,
+    SchemeWiring,
+    register_scheme,
+)
+from repro.transport.connection import Connection
+from repro.units import kilobytes
+
+
+def _scenario(**overrides):
+    base = IncastScenario(
+        degree=2,
+        total_bytes=kilobytes(100),
+        interdc=small_interdc_config(),
+        transport=TransportConfig(payload_bytes=4096),
+    )
+    return replace(base, **overrides) if overrides else base
+
+
+class TestRegistry:
+    def test_builtins_registered_in_paper_order(self):
+        assert SCHEME_REGISTRY.names() == (
+            "baseline", "naive", "streamlined", "trimless", "proxy-failover"
+        )
+        assert SCHEMES == SCHEME_REGISTRY.names()
+        assert SCHEME_REGISTRY.trimming_names() == (
+            "streamlined", "proxy-failover"
+        )
+
+    def test_unknown_scheme_error_lists_registered_names(self):
+        with pytest.raises(ExperimentError) as exc:
+            SCHEME_REGISTRY.get("bogus")
+        message = str(exc.value)
+        for name in SCHEME_REGISTRY.names():
+            assert name in message
+
+    def test_scenario_validation_goes_through_the_registry(self):
+        with pytest.raises(ExperimentError, match="registered schemes"):
+            IncastScenario(scheme="bogus")
+
+    def test_collision_requires_replace(self):
+        spec = SCHEME_REGISTRY.get("baseline")
+        with pytest.raises(ExperimentError, match="already registered"):
+            SCHEME_REGISTRY.register(spec)
+        SCHEME_REGISTRY.register(spec, replace=True)  # idempotent override
+
+    def test_spec_shape_is_validated(self):
+        def wire(ctx):
+            return SchemeWiring()
+
+        with pytest.raises(ExperimentError, match="plane"):
+            SchemeSpec(name="x", display_name="x", trimming=False,
+                       plane="sideways", crash_semantics="", make_proxy=None,
+                       wire=wire)
+        with pytest.raises(ExperimentError, match="make_proxy"):
+            SchemeSpec(name="x", display_name="x", trimming=False,
+                       plane="via", crash_semantics="", make_proxy=None,
+                       wire=wire)
+
+    def test_builtin_specs_carry_crash_semantics(self):
+        for spec in SCHEME_REGISTRY:
+            assert spec.crash_semantics
+            assert spec.display_name
+
+
+class TestThirdPartyScheme:
+    def test_registered_scheme_runs_and_caches(self, tmp_path):
+        @register_scheme("test-direct", display_name="Test Direct")
+        def wire_test_direct(ctx: SchemeContext) -> SchemeWiring:
+            wiring = SchemeWiring()
+            for i, (host, size) in enumerate(zip(ctx.senders, ctx.sizes)):
+                conn = Connection(
+                    ctx.net, host, ctx.receiver, size, ctx.scenario.transport,
+                    on_receiver_complete=ctx.make_on_done(i),
+                    on_sender_fail=ctx.make_on_fail(i),
+                    label=f"td{i}",
+                )
+                wiring.senders.append(conn.sender)
+                conn.start()
+            return wiring
+
+        try:
+            scenario = build_scenario(
+                "test-direct", degree=2, total_bytes=kilobytes(100),
+                interdc=small_interdc_config(),
+                transport=TransportConfig(payload_bytes=4096),
+            )
+            result = run_incast(scenario)
+            assert result.completed
+            # Identical wiring to baseline → identical simulation outcome.
+            reference = run_incast(_scenario(scheme="baseline"))
+            assert result.ict_ps == reference.ict_ps
+
+            # The parallel engine's cache key hashes the scenario (scheme
+            # string included), so a third-party scheme round-trips the
+            # on-disk cache like any built-in.
+            from repro.experiments.parallel import (
+                ExperimentEngine, ResultCache, scenario_key,
+            )
+            assert scenario_key(scenario) != scenario_key(
+                _scenario(scheme="baseline"))
+            cache = ResultCache(tmp_path / "cache")
+            engine = ExperimentEngine(workers=1, cache=cache)
+            [cold] = engine.run_incasts([scenario])
+            [warm] = engine.run_incasts([scenario])
+            assert not cold.from_cache and warm.from_cache
+            assert warm.ict_ps == cold.ict_ps
+        finally:
+            SCHEME_REGISTRY.unregister("test-direct")
+
+    def test_unregistered_scheme_stops_validating(self):
+        @register_scheme("test-ephemeral")
+        def wire_ephemeral(ctx):
+            return SchemeWiring()
+
+        assert "test-ephemeral" in SCHEME_REGISTRY
+        SCHEME_REGISTRY.unregister("test-ephemeral")
+        with pytest.raises(ExperimentError):
+            IncastScenario(scheme="test-ephemeral")
+
+
+class TestDeprecationHelper:
+    def setup_method(self):
+        _reset_deprecation_registry()
+
+    def teardown_method(self):
+        _reset_deprecation_registry()
+
+    def test_warns_exactly_once_per_call_site(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(5):
+                _deprecated("one site", stacklevel=2)
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, DeprecationWarning)
+
+    def test_distinct_sites_each_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _deprecated("site message", stacklevel=2)
+            _deprecated("site message", stacklevel=2)
+        assert len(caught) == 2
+
+    def test_legacy_run_incast_kwarg_warns_once_across_repeats(self):
+        scenario = _scenario()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(3):
+                run_incast(scenario, sanitize=False)
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "RunOptions" in str(deprecations[0].message)
+
+
+class TestBuildScenario:
+    def test_defaults_to_baseline(self):
+        assert build_scenario().scheme == "baseline"
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(ExperimentError):
+            build_scenario("bogus")
+
+    def test_top_level_export(self):
+        import repro
+
+        assert repro.build_scenario is build_scenario
+        assert repro.SCHEME_REGISTRY is SCHEME_REGISTRY
+        assert repro.register_scheme is register_scheme

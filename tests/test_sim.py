@@ -4,15 +4,21 @@ import pytest
 
 from repro.errors import SchedulingError, SimulationError
 from repro.sim.rng import RngRegistry
-from repro.sim.scheduler import EventScheduler
+from repro.sim.scheduler import EventScheduler, HeapEventScheduler
 from repro.sim.simulator import Simulator
 from repro.sim.timers import Timer
 from repro.sim.tracing import RecordingTracer
 
 
+@pytest.fixture(params=[EventScheduler, HeapEventScheduler], ids=["wheel", "heap"])
+def sched_cls(request):
+    """Both schedulers must honor the identical (time, seq) FIFO contract."""
+    return request.param
+
+
 class TestEventScheduler:
-    def test_pops_in_time_order(self):
-        sched = EventScheduler()
+    def test_pops_in_time_order(self, sched_cls):
+        sched = sched_cls()
         order = []
         sched.schedule_at(30, lambda: order.append(30))
         sched.schedule_at(10, lambda: order.append(10))
@@ -21,8 +27,10 @@ class TestEventScheduler:
             event.callback()
         assert order == [10, 20, 30]
 
-    def test_same_tick_is_fifo(self):
-        sched = EventScheduler()
+    def test_same_tick_is_fifo(self, sched_cls):
+        # The determinism contract the cache digests depend on: events
+        # scheduled for the same tick fire in insertion order.
+        sched = sched_cls()
         order = []
         for i in range(5):
             sched.schedule_at(7, lambda i=i: order.append(i))
@@ -30,37 +38,37 @@ class TestEventScheduler:
             event.callback()
         assert order == [0, 1, 2, 3, 4]
 
-    def test_cancelled_events_are_skipped(self):
-        sched = EventScheduler()
+    def test_cancelled_events_are_skipped(self, sched_cls):
+        sched = sched_cls()
         keep = sched.schedule_at(2, lambda: None)
         drop = sched.schedule_at(1, lambda: None)
         drop.cancel()
         assert sched.next_time() == 2
         assert sched.pop_next() is keep
 
-    def test_len_counts_only_pending(self):
-        sched = EventScheduler()
+    def test_len_counts_only_pending(self, sched_cls):
+        sched = sched_cls()
         events = [sched.schedule_at(i, lambda: None) for i in range(4)]
         events[1].cancel()
         events[3].cancel()
         assert len(sched) == 2
 
-    def test_bool_reflects_pending(self):
-        sched = EventScheduler()
+    def test_bool_reflects_pending(self, sched_cls):
+        sched = sched_cls()
         assert not sched
         event = sched.schedule_at(1, lambda: None)
         assert sched
         event.cancel()
         assert not sched
 
-    def test_validate_time_rejects_past(self):
-        sched = EventScheduler()
+    def test_validate_time_rejects_past(self, sched_cls):
+        sched = sched_cls()
         with pytest.raises(SchedulingError):
             sched.validate_time(now=100, time=99)
         sched.validate_time(now=100, time=100)  # boundary is fine
 
-    def test_len_tracks_push_pop_cancel(self):
-        sched = EventScheduler()
+    def test_len_tracks_push_pop_cancel(self, sched_cls):
+        sched = sched_cls()
         events = [sched.schedule_at(i, lambda: None) for i in range(5)]
         assert len(sched) == 5
         events[0].cancel()
@@ -77,18 +85,21 @@ class TestEventScheduler:
         assert sched.pop_next() is None
         assert len(sched) == 0
 
-    def test_len_matches_brute_force_under_churn(self):
-        sched = EventScheduler()
+    def test_len_matches_brute_force_under_churn(self, sched_cls):
+        sched = sched_cls()
         live = [sched.schedule_at(i % 7, lambda: None) for i in range(50)]
         for event in live[::3]:
             event.cancel()
         for _ in range(10):
             sched.pop_next()
-        heap_scan = sum(1 for entry in sched._heap if not entry[2].cancelled)
-        assert len(sched) == heap_scan
+        remembered = len(sched)
+        drained = 0
+        while sched.pop_next() is not None:
+            drained += 1
+        assert remembered == drained
 
-    def test_cancel_after_pop_does_not_corrupt_count(self):
-        sched = EventScheduler()
+    def test_cancel_after_pop_does_not_corrupt_count(self, sched_cls):
+        sched = sched_cls()
         event = sched.schedule_at(1, lambda: None)
         other = sched.schedule_at(2, lambda: None)
         assert sched.pop_next() is event
