@@ -8,6 +8,9 @@ Commands:
 * ``quickstart`` — the headline comparison, one table;
 * ``faults``   — fault-injection sweeps: ICT vs fault severity per scheme
   (see ``python -m repro faults --help``);
+* ``bakeoff``  — rank every registered scheme (built-ins plus the
+  ``repro.competitors`` plug-ins) on a degree × RTT × buffer grid
+  (see ``python -m repro bakeoff --help``);
 * ``lint``     — the determinism linter over ``src`` and ``benchmarks``
   (see ``python -m repro lint --help``); exits non-zero on violations.
 
@@ -204,6 +207,10 @@ def main(argv: list[str] | None = None) -> None:
         from repro.experiments.faultsweep import main as faults_main
 
         faults_main(args)
+    elif command == "bakeoff":
+        from repro.experiments.bakeoff import main as bakeoff_main
+
+        bakeoff_main(args)
     elif command == "lint":
         from repro.analysis.lint import main as lint_main
 
@@ -219,7 +226,7 @@ def main(argv: list[str] | None = None) -> None:
         _quickstart(opts)
     else:
         print(f"unknown command {command!r}; "
-              "try: figures, verdicts, quickstart, faults, lint",
+              "try: figures, verdicts, quickstart, faults, bakeoff, lint",
               file=sys.stderr)
         raise SystemExit(2)
 

@@ -1,0 +1,60 @@
+"""RepFlow-style flow replication over disjoint sprayed paths.
+
+RepFlow (Xu & Li) attacks tail latency by sending every short flow twice
+and letting whichever copy finishes first win; RepNet adds path diversity
+so the copies do not queue behind the same bottleneck.  The scheme here
+replicates each incast flow over two *disjoint spray lanes*
+(:class:`~repro.net.routing.DisjointSprayRouting` statically partitions
+every equal-cost hop set), with first-copy-wins dedup at the receiver:
+both copies complete the same flow index, and the run marks a flow done
+on whichever lands first.
+
+The cost the bake-off is designed to expose: replication doubles offered
+load exactly where incast hurts — at the shared bottleneck into the
+receiving datacenter — so the loser copy keeps congesting the backbone
+after the winner has already delivered.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.routing import install_disjoint_spray
+from repro.schemes import SchemeWiring
+from repro.transport.connection import Connection
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.schemes import SchemeContext
+
+
+def _wire_repflow(ctx: "SchemeContext") -> SchemeWiring:
+    """Two connections per flow, pinned to complementary spray lanes."""
+    wiring = SchemeWiring()
+    disjoint = install_disjoint_spray(ctx.net)
+    transport = ctx.scenario.transport
+    for i, (host, size) in enumerate(zip(ctx.senders, ctx.sizes)):
+        on_done = ctx.make_on_done(i)
+        on_fail = ctx.make_on_fail(i)
+        copy_failures = [0]
+
+        def one_copy_failed(sender, _failures=copy_failures, _on_fail=on_fail):
+            # First-copy-wins implies last-copy-loses: the flow only fails
+            # once *both* replicas have given up.
+            _failures[0] += 1
+            if _failures[0] >= 2:
+                _on_fail(sender)
+
+        copies = []
+        for lane, tag in ((0, "a"), (1, "b")):
+            conn = Connection(
+                ctx.net, host, ctx.receiver, size, transport,
+                on_receiver_complete=on_done,
+                on_sender_fail=one_copy_failed,
+                label=f"repflow{i}{tag}",
+            )
+            disjoint.assign_lane(conn.flow_id, lane)
+            wiring.senders.append(conn.sender)
+            copies.append(conn)
+        for conn in copies:
+            conn.start()
+    return wiring

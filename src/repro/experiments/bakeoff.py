@@ -1,0 +1,397 @@
+"""The scheme bake-off: every registered scheme on one grid, ranked.
+
+ROADMAP item 3: now that schemes are registry plug-ins, pit the proxy
+family against the outside contenders (``repro.competitors``) on equal
+terms.  The bake-off runs **all** registered schemes — built-ins plus
+anything third parties installed — over a degree × RTT × buffer grid
+through the :class:`~repro.experiments.parallel.ExperimentEngine`
+(cache, workers, telemetry all apply), folds in a fault-sensitivity
+column from the existing blackhole sweep, and emits a ranked summary
+(text table + ASCII figure, CSV/JSON with ``--export``).
+
+Run ``python -m repro bakeoff`` (or ``--smoke`` for the CI-sized grid,
+which prints a ``sweep_digest:`` line that must be bit-identical across
+worker counts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import math
+from dataclasses import asdict, dataclass, replace
+from pathlib import Path
+from typing import Sequence
+
+from repro.config import InterDcConfig, QueueSpec, TransportConfig, small_interdc_config
+from repro.experiments.faultsweep import blackhole_rate_sweep
+from repro.experiments.parallel import ExperimentEngine, ResultCache
+from repro.experiments.report import average_reductions, render_table
+from repro.experiments.runner import IncastScenario
+from repro.experiments.sweeps import SweepPoint, _sweep, sweep_digest
+from repro.schemes import SCHEME_REGISTRY
+from repro.units import kilobytes, microseconds, milliseconds, seconds
+
+#: Default grid axes: incast degree, one-way long-haul delay, and the
+#: factor every congestion-point buffer (and its ECN thresholds) scales by.
+BAKEOFF_DEGREES = (4, 8)
+BAKEOFF_DELAYS_PS = (microseconds(100), milliseconds(1))
+BAKEOFF_BUFFER_SCALES = (0.5, 1.0)
+
+#: Drop fraction of the fault-sensitivity column (vs a healthy control).
+FAULT_SENSITIVITY_RATE = 0.02
+
+
+def bakeoff_base_scenario(
+    *,
+    degree: int = 4,
+    total_bytes: int = kilobytes(400),
+    horizon_ps: int = seconds(2),
+) -> IncastScenario:
+    """The shared scenario under the bake-off grid.
+
+    Same spirit as :func:`~repro.experiments.faultsweep.
+    fault_base_scenario`: the small fabric and a bounded give-up point
+    keep the full grid × schemes × reps batch tractable.
+    """
+    return IncastScenario(
+        degree=degree,
+        total_bytes=total_bytes,
+        interdc=small_interdc_config(),
+        transport=TransportConfig(max_consecutive_timeouts=8),
+        horizon_ps=horizon_ps,
+    )
+
+
+def scale_buffers(interdc: InterDcConfig, factor: float) -> InterDcConfig:
+    """Scale every congestion-point buffer by ``factor``.
+
+    Fabric switch queues and the backbone queue scale together — capacity
+    *and* ECN thresholds, so the marking profile keeps its shape and the
+    ``low <= high <= capacity`` validator stays satisfied.  Host queues
+    (effectively infinite) are left alone.
+    """
+    if factor <= 0:
+        raise ValueError(f"buffer scale must be positive, got {factor}")
+
+    def scaled(spec: QueueSpec) -> QueueSpec:
+        return replace(
+            spec,
+            capacity_bytes=max(1, round(spec.capacity_bytes * factor)),
+            ecn_low_bytes=round(spec.ecn_low_bytes * factor),
+            ecn_high_bytes=round(spec.ecn_high_bytes * factor),
+        )
+
+    return replace(
+        interdc,
+        fabric=replace(interdc.fabric, switch_queue=scaled(interdc.fabric.switch_queue)),
+        backbone_queue=scaled(interdc.backbone_queue),
+    )
+
+
+def bakeoff_grid(
+    base: IncastScenario | None = None,
+    degrees: Sequence[int] = BAKEOFF_DEGREES,
+    delays_ps: Sequence[int] = BAKEOFF_DELAYS_PS,
+    buffer_scales: Sequence[float] = BAKEOFF_BUFFER_SCALES,
+    schemes: Sequence[str] | None = None,
+    reps: int = 3,
+    *,
+    engine: ExperimentEngine | None = None,
+    workers: int | None = 1,
+    cache: ResultCache | None = None,
+    seed0: int = 0,
+) -> list[SweepPoint]:
+    """Every scheme at every grid point; defaults to the whole registry."""
+    base = base or bakeoff_base_scenario()
+    names = tuple(schemes) if schemes is not None else SCHEME_REGISTRY.names()
+    points = []
+    for degree in degrees:
+        for delay_ps in delays_ps:
+            for scale in buffer_scales:
+                label = (
+                    f"deg={degree} owd={delay_ps / 1e6:g}us buf={scale:g}x"
+                )
+                scenario = replace(
+                    base,
+                    degree=degree,
+                    interdc=scale_buffers(
+                        base.interdc.with_backbone_delay(delay_ps), scale
+                    ),
+                )
+                points.append((float(len(points)), label, scenario))
+    return _sweep(base, points, names, reps, engine, workers, cache, seed0)
+
+
+def fault_sensitivity(
+    schemes: Sequence[str],
+    reps: int = 2,
+    *,
+    rate: float = FAULT_SENSITIVITY_RATE,
+    base: IncastScenario | None = None,
+    engine: ExperimentEngine | None = None,
+    seed0: int = 0,
+) -> tuple[list[SweepPoint], dict[str, float | None]]:
+    """Blackhole sweep at one drop rate, reduced to an ICT blow-up ratio.
+
+    Reuses :func:`~repro.experiments.faultsweep.blackhole_rate_sweep`
+    with a healthy control, returning both the raw points (they feed the
+    digest) and ``scheme -> ict(faulty) / ict(healthy)``; ``None`` when
+    either side produced no successful repetitions.
+    """
+    points = blackhole_rate_sweep(
+        base=base, rates=(0.0, rate), schemes=schemes, reps=reps,
+        engine=engine, seed0=seed0,
+    )
+    healthy, faulty = points[0], points[1]
+    ratios: dict[str, float | None] = {}
+    for name in schemes:
+        h = healthy.schemes[name].ict.mean
+        f = faulty.schemes[name].ict.mean
+        ok = h > 0 and not (math.isnan(h) or math.isnan(f))
+        ratios[name] = (f / h) if ok else None
+    return points, ratios
+
+
+@dataclass
+class BakeoffRow:
+    """One scheme's aggregate standing across the whole grid."""
+
+    rank: int
+    scheme: str
+    display_name: str
+    mean_ict_ps: float
+    mean_reduction: float | None
+    retransmissions: float
+    timeouts: float
+    trims: float
+    drops: float
+    failures: int
+    all_completed: bool
+    fault_ratio: float | None
+
+
+def rank_bakeoff(
+    points: Sequence[SweepPoint],
+    schemes: Sequence[str],
+    fault_ratios: dict[str, float | None] | None = None,
+) -> list[BakeoffRow]:
+    """Fold grid points into one row per scheme, best mean ICT first."""
+    rows = []
+    for name in schemes:
+        summaries = [p.schemes[name] for p in points]
+        with_data = [s for s in summaries if s.ict.count > 0]
+        mean_ict = (
+            sum(s.ict.mean for s in with_data) / len(with_data)
+            if with_data
+            else float("nan")
+        )
+        reduction = average_reductions(list(points), name) if name != "baseline" else None
+        spec = SCHEME_REGISTRY.get(name)
+        rows.append(BakeoffRow(
+            rank=0,
+            scheme=name,
+            display_name=spec.display_name,
+            mean_ict_ps=mean_ict,
+            mean_reduction=reduction,
+            retransmissions=sum(s.retransmissions for s in summaries),
+            timeouts=sum(s.timeouts for s in summaries),
+            trims=sum(s.trims for s in summaries),
+            drops=sum(s.drops for s in summaries),
+            failures=sum(s.failures for s in summaries),
+            all_completed=all(s.all_completed for s in with_data) if with_data else False,
+            fault_ratio=(fault_ratios or {}).get(name),
+        ))
+    rows.sort(key=lambda r: (math.isnan(r.mean_ict_ps), r.mean_ict_ps))
+    for position, row in enumerate(rows, start=1):
+        row.rank = position
+    return rows
+
+
+def bakeoff_table(rows: Sequence[BakeoffRow]) -> str:
+    """The ranked summary as an aligned text table."""
+    headers = ["#", "scheme", "mean ICT (ms)", "vs base", "retx", "timeouts",
+               "trims", "fails", "fault x"]
+    body = []
+    for row in rows:
+        body.append([
+            str(row.rank),
+            row.scheme,
+            "n/a" if math.isnan(row.mean_ict_ps) else f"{row.mean_ict_ps / 1e9:.3f}",
+            "—" if row.mean_reduction is None else f"{row.mean_reduction:+.1%}",
+            f"{row.retransmissions:.0f}",
+            f"{row.timeouts:.0f}",
+            f"{row.trims:.0f}",
+            str(row.failures),
+            "n/a" if row.fault_ratio is None else f"{row.fault_ratio:.2f}",
+        ])
+    return render_table(headers, body)
+
+
+def bakeoff_figure(rows: Sequence[BakeoffRow], width: int = 48) -> str:
+    """ASCII bar figure: mean ICT per scheme, shorter bar is better."""
+    finite = [r.mean_ict_ps for r in rows if not math.isnan(r.mean_ict_ps)]
+    worst = max(finite) if finite else 1.0
+    lines = ["Bake-off — mean ICT across the grid (shorter is better)"]
+    name_width = max((len(r.scheme) for r in rows), default=6)
+    for row in rows:
+        if math.isnan(row.mean_ict_ps):
+            bar, value = "?", "n/a"
+        else:
+            bar = "#" * max(1, round(width * row.mean_ict_ps / worst))
+            value = f"{row.mean_ict_ps / 1e9:.3f} ms"
+        lines.append(f"{row.scheme.ljust(name_width)} |{bar} {value}")
+    return "\n".join(lines)
+
+
+def export_bakeoff(
+    rows: Sequence[BakeoffRow],
+    points: Sequence[SweepPoint],
+    directory: Path,
+    digest: str,
+) -> list[Path]:
+    """Write the ranked summary as CSV + JSON (+ the raw grid CSV)."""
+    from repro.metrics.export import write_sweep_csv
+
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+
+    summary_csv = directory / "bakeoff_summary.csv"
+    fields = list(asdict(rows[0])) if rows else []
+    with summary_csv.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(fields)
+        for row in rows:
+            record = asdict(row)
+            writer.writerow(
+                ["" if record[f] is None else record[f] for f in fields]
+            )
+    written.append(summary_csv)
+
+    summary_json = directory / "bakeoff_summary.json"
+    summary_json.write_text(json.dumps(
+        {"digest": digest, "rows": [asdict(row) for row in rows]}, indent=2,
+    ) + "\n")
+    written.append(summary_json)
+
+    written.append(write_sweep_csv(list(points), directory / "bakeoff_grid.csv"))
+
+    figure_txt = directory / "bakeoff_figure.txt"
+    figure_txt.write_text(bakeoff_figure(rows) + "\n")
+    written.append(figure_txt)
+    return written
+
+
+# ---------------------------------------------------------------------------
+# CLI: python -m repro bakeoff
+# ---------------------------------------------------------------------------
+
+def _run_bakeoff(
+    engine: ExperimentEngine,
+    *,
+    smoke: bool,
+    reps: int,
+    seed0: int,
+    export_dir: Path | None,
+) -> None:
+    import repro.competitors as competitors
+
+    competitors.install()
+    schemes = SCHEME_REGISTRY.names()
+
+    base = bakeoff_base_scenario(
+        total_bytes=kilobytes(200) if smoke else kilobytes(400)
+    )
+    if smoke:
+        grid_kwargs = dict(
+            degrees=(4,), delays_ps=(milliseconds(1),), buffer_scales=(1.0,),
+            reps=min(reps, 2),
+        )
+        fault_reps = 1
+    else:
+        grid_kwargs = dict(reps=reps)
+        fault_reps = max(2, reps - 1)
+
+    points = bakeoff_grid(base, schemes=schemes, engine=engine, seed0=seed0,
+                          **grid_kwargs)
+    fault_points, ratios = fault_sensitivity(
+        schemes, reps=fault_reps, base=base, engine=engine, seed0=seed0,
+    )
+    rows = rank_bakeoff(points, schemes, ratios)
+    digest = sweep_digest(list(points) + list(fault_points))
+
+    print(f"\n=== Scheme bake-off ({len(schemes)} schemes, "
+          f"{len(points)} grid points) ===")
+    print(bakeoff_table(rows))
+    print()
+    print(bakeoff_figure(rows))
+    print(f"sweep_digest: {digest}")
+
+    if export_dir is not None:
+        for path in export_bakeoff(rows, points, export_dir, digest):
+            print(f"exported {path}")
+
+    if len(rows) < 8:
+        print(f"BAKEOFF FAILED: only {len(rows)} schemes ranked (expected >= 8)")
+        raise SystemExit(1)
+
+
+def main(argv: Sequence[str] | None = None) -> None:
+    """CLI entry point for the bake-off."""
+    from repro.__main__ import (
+        check_common_args,
+        common_parser,
+        export_telemetry,
+        options_from_args,
+        telemetry_from_args,
+    )
+    from repro.experiments.figures import build_engine
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bakeoff",
+        description="rank every registered scheme on a degree x RTT x buffer grid",
+        parents=[common_parser()],
+    )
+    parser.add_argument(
+        "--reps", type=int, default=3, help="repetitions per grid cell")
+    parser.add_argument(
+        "--export", type=Path, default=None, metavar="DIR",
+        help="write ranked summary CSV/JSON, grid CSV, and the figure into DIR",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI-sized grid; digest must match across --workers values",
+    )
+    args = parser.parse_args(argv)
+    check_common_args(parser, args)
+    if args.reps < 1:
+        parser.error(f"--reps must be at least 1, got {args.reps}")
+
+    engine = build_engine(
+        args.workers, args.no_cache, args.cache_dir,
+        run_timeout_s=args.run_timeout,
+        options=options_from_args(args),
+        telemetry=telemetry_from_args(args),
+    )
+
+    _run_bakeoff(
+        engine,
+        smoke=args.smoke,
+        reps=args.reps,
+        seed0=args.seed,
+        export_dir=args.export,
+    )
+
+    export_telemetry(args, engine)
+    stats = engine.stats
+    if stats.tasks:
+        print(
+            f"\n[engine] {stats.tasks} runs, {stats.cache_hits} cached, "
+            f"{stats.cache_misses} simulated, {stats.failures} quarantined, "
+            f"workers={stats.workers}, wall {stats.wall_seconds:.2f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -65,7 +65,9 @@ R = TypeVar("R")
 #: faults/failover.
 #: v3: IncastResult gained the conservation tally (--sanitize).
 #: v4: IncastResult gained the telemetry snapshot (repro.telemetry).
-CACHE_SCHEMA_VERSION = 4
+#: v5: scenario keys fold in the registered scheme's spec fingerprint, so a
+#: re-registered scheme under an old name never reuses stale entries.
+CACHE_SCHEMA_VERSION = 5
 
 #: Default on-disk cache location (override with $REPRO_CACHE_DIR).
 DEFAULT_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", "results/.sweep-cache"))
@@ -107,14 +109,26 @@ def scenario_key(scenario: Any) -> str:
     processes and interpreter runs; any field change (scheme, degree,
     bytes, nested config, seed) changes the key.  Raises :class:`Uncacheable`
     for scenarios carrying callables (``proxy_delay_sampler``).
+
+    When the scenario names a registered scheme, the scheme's spec
+    :meth:`~repro.schemes.SchemeSpec.fingerprint` is folded in as well:
+    the scheme *name* alone is not a stable identity once third parties can
+    ``@register_scheme(..., replace=True)`` a different implementation
+    under a previously used name.
     """
     if not is_dataclass(scenario) or isinstance(scenario, type):
         raise Uncacheable(f"cache keys require a dataclass, got {type(scenario).__name__}")
-    payload = json.dumps(
-        {"schema": CACHE_SCHEMA_VERSION, "scenario": _canonical(scenario)},
-        sort_keys=True,
-        separators=(",", ":"),
-    )
+    document: dict[str, Any] = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "scenario": _canonical(scenario),
+    }
+    scheme = getattr(scenario, "scheme", None)
+    if isinstance(scheme, str):
+        from repro.schemes import SCHEME_REGISTRY
+
+        if scheme in SCHEME_REGISTRY:
+            document["scheme_fingerprint"] = SCHEME_REGISTRY.get(scheme).fingerprint()
+    payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(payload.encode()).hexdigest()
 
 

@@ -20,9 +20,16 @@ from repro.net.queues import (
     QueueStats,
     TrimmingQueue,
 )
-from repro.net.routing import EcmpRouting, SprayRouting, build_next_hop_tables
+from repro.net.routing import (
+    DisjointSprayRouting,
+    EcmpRouting,
+    SprayRouting,
+    build_next_hop_tables,
+    install_disjoint_spray,
+)
 
 __all__ = [
+    "DisjointSprayRouting",
     "DropTailQueue",
     "EcmpRouting",
     "EcnQueue",
@@ -39,4 +46,5 @@ __all__ = [
     "Switch",
     "TrimmingQueue",
     "build_next_hop_tables",
+    "install_disjoint_spray",
 ]

@@ -112,3 +112,77 @@ class EcmpRouting(RoutingStrategy):
             return options[0]
         index = ((packet.flow_id * self._HASH_MULT) ^ switch.id) % len(options)
         return options[index]
+
+
+class DisjointSprayRouting(SprayRouting):
+    """Per-packet spraying constrained to per-flow *lanes* of the fabric.
+
+    RepFlow-style replication wants the two copies of a flow to avoid
+    sharing bottlenecks.  At every switch with ``k`` equal-cost next hops,
+    lane ``j`` owns the hops at indices ``j, j + lanes, j + 2*lanes, ...``
+    — a static partition, so two flows assigned different lanes never share
+    a multi-path hop anywhere in the fabric.  Flows without an assigned
+    lane (ordinary traffic) spray over the full candidate set, exactly like
+    :class:`SprayRouting`.
+
+    Lane assignment covers a flow's ACKs too: control packets reuse the
+    data packet's ``flow_id``, so the reverse path stays inside the lane.
+    """
+
+    def __init__(self, tables: NextHopTable, lanes: int = 2) -> None:
+        if lanes < 2:
+            raise RoutingError(f"disjoint spraying needs >= 2 lanes, got {lanes}")
+        super().__init__(tables)
+        self.lanes = lanes
+        self._flow_lane: dict[int, int] = {}
+
+    def assign_lane(self, flow_id: int, lane: int) -> None:
+        """Pin ``flow_id`` (data and its control echoes) to ``lane``."""
+        self._flow_lane[flow_id] = lane % self.lanes
+
+    def next_hop(self, switch: "Switch", packet: Packet) -> int:
+        lane = self._flow_lane.get(packet.flow_id)
+        if lane is None:
+            return super().next_hop(switch, packet)
+        try:
+            options = self._tables[switch.id][packet.dst]
+        except KeyError:
+            raise RoutingError(
+                f"switch {switch.name} has no route to node {packet.dst}"
+            ) from None
+        subset = options[lane::self.lanes]
+        if subset:
+            options = subset
+        n = len(options)
+        if n == 1:
+            return options[0]
+        rng = switch.spray_rng
+        assert rng is not None, "finalize() assigns spray RNGs"
+        getrandbits = rng.getrandbits
+        k = n.bit_length()
+        r = getrandbits(k)
+        while r >= n:
+            r = getrandbits(k)
+        return options[r]
+
+
+def install_disjoint_spray(net: object, lanes: int = 2) -> DisjointSprayRouting:
+    """Swap every switch's strategy for one shared :class:`DisjointSprayRouting`.
+
+    The network must already be finalized (tables built, spray RNGs
+    assigned).  Single-candidate destinations keep using the switches'
+    precomputed direct ports, so only genuinely multi-path hops consult the
+    new strategy — no core forwarding code changes hands.
+    """
+    switches = getattr(net, "switches", ())
+    installed = None
+    for switch in switches:
+        if switch.routing is not None:
+            installed = switch.routing
+            break
+    if installed is None:
+        raise RoutingError("install_disjoint_spray needs a finalized network")
+    disjoint = DisjointSprayRouting(installed._tables, lanes=lanes)
+    for switch in switches:
+        switch.routing = disjoint
+    return disjoint

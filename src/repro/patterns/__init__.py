@@ -9,21 +9,39 @@ Two mechanisms the research agenda calls for:
   traffic time series (ML training synchronization phases are periodic)
   to estimate the period and predict the next burst, so the operator can
   stage a proxy *before* the incast starts.
+* :class:`DistributedIncastDetector` — the in-network variant: per-switch
+  constant-space sketches merged per destination, selectable (alongside
+  the online detector) as a scheme detection backend through
+  :func:`make_detection_backend`.
 """
 
 from repro.patterns.controller import ControllerConfig, PatternAwareController
 from repro.patterns.detector import DetectionEvent, DetectorSettings, OnlineIncastDetector
+from repro.patterns.distributed import (
+    DETECTION_BACKENDS,
+    DistributedIncastDetector,
+    LocalIncastSketch,
+    SketchSettings,
+    feed_controller,
+    make_detection_backend,
+)
 from repro.patterns.predictor import PeriodEstimate, PeriodicIncastPredictor
 from repro.patterns.run import PatternAwareResult, run_pattern_aware
 
 __all__ = [
     "ControllerConfig",
+    "DETECTION_BACKENDS",
     "DetectionEvent",
     "DetectorSettings",
+    "DistributedIncastDetector",
+    "LocalIncastSketch",
     "OnlineIncastDetector",
     "PatternAwareController",
     "PatternAwareResult",
     "PeriodEstimate",
     "PeriodicIncastPredictor",
+    "SketchSettings",
+    "feed_controller",
+    "make_detection_backend",
     "run_pattern_aware",
 ]

@@ -124,6 +124,43 @@ class SchemeSpec:
                 "a make_proxy factory"
             )
 
+    def fingerprint(self) -> str:
+        """Content hash of the spec's behaviour, for result-cache keys.
+
+        Covers the declarative fields plus the identity *and source* of the
+        ``wire``/``make_proxy`` callables, so re-registering a different
+        implementation under a previously used name changes every cache key
+        that scheme produces.  Callables whose source is unavailable (C
+        extensions, REPL definitions) degrade to their qualified name.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        import hashlib
+        import inspect
+
+        def describe(fn: Any) -> str:
+            if fn is None:
+                return "<none>"
+            where = f"{getattr(fn, '__module__', '?')}:{getattr(fn, '__qualname__', repr(fn))}"
+            try:
+                return f"{where}\n{inspect.getsource(fn)}"
+            except (OSError, TypeError):
+                return where
+
+        payload = "\x00".join((
+            self.name,
+            self.display_name,
+            str(self.trimming),
+            self.plane,
+            self.crash_semantics,
+            describe(self.wire),
+            describe(self.make_proxy),
+        ))
+        digest = hashlib.sha256(payload.encode()).hexdigest()
+        object.__setattr__(self, "_fingerprint", digest)
+        return digest
+
 
 class SchemeRegistry:
     """Name -> :class:`SchemeSpec`, in registration order."""
@@ -191,7 +228,10 @@ def register_scheme(
     """Decorator form of registration: wraps a ``wire(ctx)`` function."""
 
     def decorate(wire: Callable[[SchemeContext], SchemeWiring]):
-        (registry or SCHEME_REGISTRY).register(
+        # `registry or SCHEME_REGISTRY` would mis-route the first spec: an
+        # empty SchemeRegistry has len() == 0 and is therefore falsy.
+        target = registry if registry is not None else SCHEME_REGISTRY
+        target.register(
             SchemeSpec(
                 name=name,
                 display_name=display_name if display_name is not None else name,

@@ -104,10 +104,17 @@ class AckingReceiver:
         """Cancel the delayed-ACK timer and stop reacting to packets.
 
         Called on connection teardown and when the hosting process crashes
-        (Naive proxy) so no stale timer callback fires afterwards.
+        (Naive proxy) so no stale timer callback fires afterwards.  Any data
+        packet held as the pending ACK-batch tail is released: its echo will
+        never be sent, and leaving it allocated leaks a pool buffer per
+        crashed flow under coalesced ACKs.
         """
         self._closed = True
         self._delack.stop()
+        last = self._batch_last
+        if last is not None:
+            self._batch_last = None
+            last.release()
 
     def on_packet(self, packet: Packet) -> None:
         """Entry point for packets delivered to the receiving host.

@@ -42,7 +42,15 @@ class RttEstimator:
         self.srtt += self.ALPHA * err
 
     def rto_ps(self, backoff: int = 0) -> int:
-        """Current RTO, doubled ``backoff`` times, clamped to [min, max]."""
-        rto = self.srtt + 4 * self.rttvar
-        rto = max(self.min_rto, round(rto)) << backoff
+        """Current RTO, doubled ``backoff`` times, clamped to [min, max].
+
+        Both clamps apply to the *backed-off* value: ``min_rto`` is a floor
+        on the returned timeout, not a base that backoff exponentiates.  A
+        connection whose estimate sits below the floor therefore backs off
+        from its measured RTO, re-crossing the floor naturally, instead of
+        jumping straight to ``min_rto << backoff``.
+        """
+        rto = round(self.srtt + 4 * self.rttvar) << backoff
+        if rto < self.min_rto:
+            return self.min_rto
         return min(rto, self.max_rto)

@@ -79,6 +79,55 @@ class TestCoalescing:
             TransportConfig(delack_timeout_ps=0)
 
 
+class TestCloseReleasesBatchTail:
+    def test_close_releases_held_batch_tail(self, sim, delack_cfg):
+        # Regression: close() used to drop the reference to the data packet
+        # held as the pending ACK-batch tail without releasing it, leaking
+        # one pool buffer per receiver closed mid-batch.
+        from repro.transport.receiver import AckingReceiver
+
+        net, a, b = build_pair(sim)
+        receiver = AckingReceiver(
+            sim, b, flow_id=901, total_packets=8, cfg=delack_cfg,
+            return_route=(a.id,),
+        )
+        pool = sim.packet_pool
+        packet = pool.data(901, 0, a.id, b.id, payload_bytes=1024)
+        receiver.on_packet(packet)
+        assert receiver._batch_last is packet  # 1 < ack_every: tail is held
+        released_before = pool.stats()["released"]
+        receiver.close()
+        assert receiver._batch_last is None
+        assert pool.stats()["released"] == released_before + 1
+        receiver.close()  # idempotent: must not double-release
+        assert pool.stats()["released"] == released_before + 1
+
+    def test_proxy_crash_under_fault_plan_releases_tail(self, sim, delack_cfg):
+        # The path that hit the leak in practice: a Naive proxy crash closes
+        # its inner receivers mid-batch under coalesced ACKs.
+        from repro.faults import FaultContext, FaultInjector, proxy_crash_plan
+        from repro.proxy.naive import NaiveProxy
+        from tests.conftest import build_incast_star
+
+        net, hosts, rx = build_incast_star(sim, 2)
+        src, proxy_host = hosts
+        proxy = NaiveProxy(net, proxy_host, delack_cfg)
+        flow = proxy.relay(src, rx, 256 * 1024)
+        flow.start()
+        crash_at = microseconds(40)
+        plan = proxy_crash_plan(at_ps=crash_at)
+        FaultInjector(sim, plan, FaultContext(net, proxies={"primary": proxy})).arm()
+        probe = {}
+        def snapshot():
+            probe["held"] = flow.inner.receiver._batch_last is not None
+        sim.schedule(crash_at - 1, snapshot)
+        sim.run(until=milliseconds(50))
+        # the crash must have landed mid-batch or this regression tests nothing
+        assert probe["held"], "crash landed between batches; move crash_at"
+        assert proxy.crashed
+        assert flow.inner.receiver._batch_last is None
+
+
 class TestEndToEndWithDelayedAcks:
     def test_headline_survives_ack_coalescing(self):
         cfg = TransportConfig(payload_bytes=4096, ack_every=4)

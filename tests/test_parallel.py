@@ -74,6 +74,29 @@ class TestScenarioKey:
         with pytest.raises(Uncacheable):
             scenario_key({"not": "a dataclass"})
 
+    def test_reregistered_scheme_changes_key(self, tiny_scenario):
+        # Regression: keys used to hash the scheme *name* only, so a
+        # third-party registration reusing a name silently reused the old
+        # implementation's cached results.
+        from repro.schemes import SCHEME_REGISTRY, SchemeWiring, register_scheme
+
+        @register_scheme("keytest")
+        def wire_one(ctx):
+            return SchemeWiring()
+
+        try:
+            scenario = replace(tiny_scenario, scheme="keytest")
+            first = scenario_key(scenario)
+            assert first == scenario_key(scenario)  # stable while unchanged
+
+            @register_scheme("keytest", replace=True)
+            def wire_two(ctx):
+                return SchemeWiring()  # different implementation, same name
+
+            assert scenario_key(scenario) != first
+        finally:
+            SCHEME_REGISTRY.unregister("keytest")
+
 
 class TestRunParallel:
     def test_serial_path(self):

@@ -14,6 +14,7 @@ SUBPACKAGES = [
     "repro.proxy", "repro.hoststack", "repro.detection", "repro.orchestration",
     "repro.patterns", "repro.abstraction", "repro.workloads", "repro.metrics",
     "repro.experiments", "repro.analysis", "repro.telemetry",
+    "repro.competitors",
 ]
 
 

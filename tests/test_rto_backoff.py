@@ -23,11 +23,24 @@ class TestRtoCap:
 
     def test_backoff_doubles_below_the_cap(self):
         rtt = self._estimator()
-        base = rtt.rto_ps(0)
+        raw = round(rtt.srtt + 4 * rtt.rttvar)
         backoff = 1
         while rtt.rto_ps(backoff) < rtt.max_rto:
-            assert rtt.rto_ps(backoff) == base << backoff
+            assert rtt.rto_ps(backoff) == max(rtt.min_rto, raw << backoff)
             backoff += 1
+
+    def test_min_rto_floor_is_not_amplified_by_backoff(self):
+        # Regression: the floor used to clamp *before* the shift, so an
+        # estimator sitting below min_rto backed off from the floor itself
+        # (500us, 1ms, 2ms, ...) instead of from its measured RTO.
+        rtt = self._estimator()
+        raw = round(rtt.srtt + 4 * rtt.rttvar)  # 300us, below the 500us floor
+        assert raw < rtt.min_rto
+        assert rtt.rto_ps(0) == rtt.min_rto
+        assert rtt.rto_ps(1) == raw << 1  # 600us, not min_rto << 1 == 1ms
+        assert rtt.rto_ps(2) == raw << 2
+        # high backoff still lands exactly on the cap, never past it
+        assert rtt.rto_ps(30) == rtt.max_rto
 
     def test_backoff_clamps_to_max_rto(self):
         rtt = self._estimator()

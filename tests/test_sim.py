@@ -108,6 +108,88 @@ class TestEventScheduler:
         assert sched.pop_next() is other
 
 
+class TestUnpopMidBatch:
+    """`EventScheduler.unpop` reinserts the unrun tail of a same-tick batch.
+
+    The run loop uses it when ``stop()`` fires mid-batch; the contract is
+    that a later drain resumes in the exact ``(time, seq)`` order the heap
+    reference produces without any batching at all — including entries
+    scheduled *between* the stop and the resume.
+    """
+
+    def test_unpop_resume_matches_heap_order(self):
+        script = [(5, "a"), (5, "b"), (5, "c"), (7, "d"), (5, "e"), (5, "f"), (9, "g")]
+
+        def drive_wheel():
+            sched = EventScheduler()
+            order = []
+            mk = lambda tag: (lambda: order.append(tag))
+            handles = [sched.schedule_at(t, mk(tag)) for t, tag in script]
+            handles[4].cancel()  # "e": lazily cancelled inside the batch
+            tick, batch = sched.pop_tick()
+            assert tick == 5 and len(batch) == 4  # a, b, c, f
+            for entry in batch[:2]:  # run a and b, then "stop"
+                entry[2].callback()
+            sched.unpop(batch[2:])
+            sched.schedule_at(5, mk("h"))  # lands between unpopped c/f and d
+            while (popped := sched.pop_tick()) is not None:
+                for entry in list(popped[1]):
+                    entry[2].callback()
+            return order
+
+        def drive_heap():
+            sched = HeapEventScheduler()
+            order = []
+            mk = lambda tag: (lambda: order.append(tag))
+            handles = [sched.schedule_at(t, mk(tag)) for t, tag in script]
+            handles[4].cancel()
+            for _ in range(2):  # the heap has no batches: just pop a and b
+                sched.pop_next().callback()
+            sched.schedule_at(5, mk("h"))
+            while (event := sched.pop_next()) is not None:
+                event.callback()
+            return order
+
+        wheel, heap = drive_wheel(), drive_heap()
+        assert wheel == heap
+        assert wheel == ["a", "b", "c", "f", "h", "d", "g"]
+
+    def test_unpop_relinks_cancellation_and_count(self):
+        sched = EventScheduler()
+        fired = []
+        a = sched.schedule_at(3, lambda: fired.append("a"))
+        b = sched.schedule_at(3, lambda: fired.append("b"))
+        c = sched.schedule_at(3, lambda: fired.append("c"))
+        tick, batch = sched.pop_tick()
+        assert len(batch) == 3
+        batch[0][2].callback()
+        sched.unpop(batch[1:])
+        assert len(sched) == 2
+        b.cancel()  # only works if unpop re-linked the Event to the queue
+        assert len(sched) == 1
+        assert sched.pop_next() is c
+        assert len(sched) == 0
+
+    def test_stop_mid_batch_resumes_in_order(self, sim):
+        # End-to-end through the Simulator: four same-tick events, the
+        # second stops the run; a later run() fires the reinserted tail in
+        # the original order.
+        fired = []
+
+        def second():
+            fired.append("b")
+            sim.stop()
+
+        sim.schedule(5, lambda: fired.append("a"))
+        sim.schedule(5, second)
+        sim.schedule(5, lambda: fired.append("c"))
+        sim.schedule(5, lambda: fired.append("d"))
+        sim.run()
+        assert fired == ["a", "b"]
+        sim.run()
+        assert fired == ["a", "b", "c", "d"]
+
+
 class TestSimulator:
     def test_clock_advances_with_events(self, sim):
         times = []
