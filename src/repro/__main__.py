@@ -11,6 +11,10 @@ Commands:
 * ``bakeoff``  — rank every registered scheme (built-ins plus the
   ``repro.competitors`` plug-ins) on a degree × RTT × buffer grid
   (see ``python -m repro bakeoff --help``);
+* ``recovery`` — the reactive-control-plane sweep: fault detection time,
+  reroute convergence time, and post-failure ICT inflation per scheme
+  across a link-failure × proxy-crash grid
+  (see ``python -m repro recovery --help``);
 * ``lint``     — the determinism linter over ``src`` and ``benchmarks``
   (see ``python -m repro lint --help``); exits non-zero on violations.
 
@@ -211,6 +215,10 @@ def main(argv: list[str] | None = None) -> None:
         from repro.experiments.bakeoff import main as bakeoff_main
 
         bakeoff_main(args)
+    elif command == "recovery":
+        from repro.experiments.recovery import main as recovery_main
+
+        recovery_main(args)
     elif command == "lint":
         from repro.analysis.lint import main as lint_main
 
@@ -226,7 +234,8 @@ def main(argv: list[str] | None = None) -> None:
         _quickstart(opts)
     else:
         print(f"unknown command {command!r}; "
-              "try: figures, verdicts, quickstart, faults, bakeoff, lint",
+              "try: figures, verdicts, quickstart, faults, bakeoff, "
+              "recovery, lint",
               file=sys.stderr)
         raise SystemExit(2)
 

@@ -98,6 +98,13 @@ class PulserAgent:
         self.pulses += 1
         if self.controller is not None:
             feed_controller(self.controller, event)
+        # Emit off the delivery call stack: the arriving packet that fired
+        # the detection is already released but still live in the handler
+        # frames, so allocating pulses here can hand its recycled object
+        # out mid-delivery (the pool sanitizer rejects exactly that).
+        self.sim.schedule(0, self._emit_pulses)
+
+    def _emit_pulses(self) -> None:
         pool = self.sim.packet_pool
         for conn, sender_host in self._flows:
             receiver = conn.receiver

@@ -1,0 +1,70 @@
+"""Pluggable link-weight models for control-plane route computation.
+
+The controller recomputes next-hop tables as a shortest-path problem over
+the topology graph; what "shortest" means is the weight model:
+
+* ``"hop"``   — every link costs 1 (the data plane's BFS default);
+* ``"delay"`` — static propagation delay, preferring low-latency paths;
+* ``"queue"`` — live queue-telemetry delay: propagation plus the time the
+  egress port needs to drain its current backlog, so reconvergence steers
+  around congestion as well as failures.
+
+All weights are **positive integers** (picosecond-like costs): integer
+path sums compare exactly, so equal-cost sets are reproducible and the
+determinism linter's float-equality rule never fires.  Weight functions
+read simulation state but never RNG, keeping recomputation digest-safe.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable
+
+from repro.errors import ConfigError
+from repro.units import PS_PER_S
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+
+#: ``weight(net, a_id, b_id) -> int`` — cost of the directed edge a->b.
+WeightFn = Callable[["Network", int, int], int]
+
+
+def hop_weight(net: "Network", a_id: int, b_id: int) -> int:
+    """Every link costs 1: classic shortest-hop routing."""
+    return 1
+
+
+def delay_weight(net: "Network", a_id: int, b_id: int) -> int:
+    """Static propagation delay in picoseconds (floor 1 so no edge is free)."""
+    return max(1, net.edge_delay_ps(a_id, b_id))
+
+
+def queue_weight(net: "Network", a_id: int, b_id: int) -> int:
+    """Propagation delay plus the ``a -> b`` port's current drain time.
+
+    The drain term is the serialization time of the backlog sitting in the
+    egress queue right now — the same live signal telemetry samples as
+    ``port.queue_bytes`` — so paths through hot ports cost more until the
+    next recomputation observes them drained.
+    """
+    port = net.nodes[a_id].ports[b_id]
+    drain_ps = round(port.backlog_bytes * 8 * PS_PER_S / port.rate_bps)
+    return max(1, net.edge_delay_ps(a_id, b_id) + drain_ps)
+
+
+#: Model name -> weight function, the ``ControlConfig.weight_model`` values.
+WEIGHT_MODELS: dict[str, WeightFn] = {
+    "hop": hop_weight,
+    "delay": delay_weight,
+    "queue": queue_weight,
+}
+
+
+def resolve_weight_model(name: str) -> WeightFn:
+    """Look up a weight model; unknown names list what exists."""
+    weight = WEIGHT_MODELS.get(name)
+    if weight is None:
+        raise ConfigError(
+            f"unknown weight model {name!r}; known: {', '.join(WEIGHT_MODELS)}"
+        )
+    return weight

@@ -67,7 +67,12 @@ R = TypeVar("R")
 #: v4: IncastResult gained the telemetry snapshot (repro.telemetry).
 #: v5: scenario keys fold in the registered scheme's spec fingerprint, so a
 #: re-registered scheme under an old name never reuses stale entries.
-CACHE_SCHEMA_VERSION = 5
+#: v6: IncastScenario gained the control-plane config; IncastResult gained
+#: failbacks/proxy_degrades/reroutes/detected_at_ps/converged_at_ps;
+#: FailoverConfig gained failback_stabilization_ps (the proxy-failover
+#: manager now probes past the first migration, so cached pre-v6 results
+#: would disagree on events_executed).
+CACHE_SCHEMA_VERSION = 6
 
 #: Default on-disk cache location (override with $REPRO_CACHE_DIR).
 DEFAULT_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", "results/.sweep-cache"))

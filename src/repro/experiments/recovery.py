@@ -1,0 +1,437 @@
+"""Recovery-time sweep: what a failure actually costs each scheme.
+
+``python -m repro faults`` asks how badly faults hurt; this sweep asks how
+fast the *reactive* machinery repairs them.  Every run executes with the
+control plane enabled (:class:`~repro.control.ControlConfig` on the
+scenario), so three recovery mechanisms are on the clock at once:
+
+* the :class:`~repro.control.Controller` recomputing routes after a
+  ``LinkDown`` (reroute convergence time);
+* the proxy pool manager detecting a crashed proxy and migrating flows
+  (detection time), then failing back after the restart;
+* the transports recovering the packets lost in between (post-failure
+  ICT inflation vs the same scheme's no-fault control row).
+
+The grid is cases × schemes × reps, flattened through the
+:class:`~repro.experiments.parallel.ExperimentEngine` in one batch:
+
+* a **control** case (no faults) — the inflation denominator, and the CI
+  guard that an idle control plane never reroutes;
+* **link** cases — one backbone router's links go down mid-incast and
+  *stay* down, so completion requires the controller to steer the
+  survivors around the hole;
+* **crash** cases — the primary proxy crashes and restarts, so the pool
+  manager must detect, migrate, and fail back.
+
+Timings are tighter than the stock :data:`FailoverConfig` defaults
+(:data:`RECOVERY_FAILOVER`) so detection, migration, *and* fail-back all
+land inside one small incast; the restart comes after the detection
+timeout, otherwise the crash heals before anyone notices.
+
+Like every sweep, the fold is input-order deterministic: the printed
+``sweep_digest`` is bit-identical for any worker count or cache state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Sequence
+
+from repro.control import ControlConfig
+from repro.control.pool import FailoverConfig
+from repro.errors import ExperimentError
+from repro.experiments.faultsweep import fault_base_scenario
+from repro.experiments.parallel import ExperimentEngine
+from repro.experiments.runner import IncastResult, IncastScenario
+from repro.faults.plan import FaultPlan, LinkDown, proxy_crash_plan
+from repro.schemes import SCHEME_REGISTRY
+from repro.units import microseconds, to_microseconds
+
+#: Link-failure onsets: inside the first burst, and after a long-haul RTT.
+DEFAULT_LINK_TIMES_PS = (microseconds(5), microseconds(20))
+
+#: Proxy-crash onsets.
+DEFAULT_CRASH_TIMES_PS = (microseconds(10),)
+
+#: Primary restart lag for the crash cases.  Must exceed the detection
+#: timeout: an earlier restart heals before the heartbeat trips and the
+#: case degenerates into the control row.
+DEFAULT_RESTART_AFTER_PS = microseconds(300)
+
+#: Tight heartbeat/fail-back timings so one small incast exercises the
+#: full detect -> migrate -> restart -> fail-back cycle.
+RECOVERY_FAILOVER = FailoverConfig(
+    probe_interval_ps=microseconds(50),
+    detection_timeout_ps=microseconds(100),
+    failback_stabilization_ps=microseconds(100),
+)
+
+
+def recovery_base_scenario(**overrides) -> IncastScenario:
+    """The shared scenario under the recovery sweep (small and fast)."""
+    return replace(fault_base_scenario(), failover=RECOVERY_FAILOVER, **overrides)
+
+
+@dataclass(frozen=True)
+class RecoveryCase:
+    """One fault timeline the sweep runs every scheme through."""
+
+    kind: str  # "control" | "link" | "crash"
+    label: str
+    fault_at_ps: int
+    plan: FaultPlan
+
+
+def build_cases(
+    link_times_ps: Sequence[int] = DEFAULT_LINK_TIMES_PS,
+    crash_times_ps: Sequence[int] = DEFAULT_CRASH_TIMES_PS,
+    restart_after_ps: int = DEFAULT_RESTART_AFTER_PS,
+    link_target: str = "backbone:0",
+) -> list[RecoveryCase]:
+    """The control row, the permanent link failures, the crash+restart."""
+    cases = [RecoveryCase("control", "no-fault", 0, FaultPlan())]
+    for t in link_times_ps:
+        cases.append(RecoveryCase(
+            "link", f"linkdown@{to_microseconds(t):g}us", t,
+            FaultPlan((LinkDown(t, link=link_target),)),
+        ))
+    for t in crash_times_ps:
+        cases.append(RecoveryCase(
+            "crash", f"crash@{to_microseconds(t):g}us+restart", t,
+            proxy_crash_plan(at_ps=t, restart_after_ps=restart_after_ps),
+        ))
+    return cases
+
+
+@dataclass
+class RecoveryRow:
+    """One (case, scheme) cell: means over the successful repetitions."""
+
+    kind: str
+    label: str
+    scheme: str
+    fault_at_ps: int
+    #: mean ICT (horizon when every repetition was quarantined).
+    ict_ps: float
+    #: ICT relative to this scheme's control row (None on the control row).
+    inflation: float | None
+    #: mean (detected_at - fault_at); None when nothing was detected.
+    detect_lag_ps: float | None
+    #: mean (first reinstall - fault_at); None when nothing reconverged.
+    converge_lag_ps: float | None
+    reroutes: float
+    failovers: float
+    failbacks: float
+    degrades: float
+    completed: bool
+    failures: int
+
+
+def _fold(case: RecoveryCase, scheme: str, entries, horizon_ps: int) -> RecoveryRow:
+    ok = [r for r in entries if isinstance(r, IncastResult)]
+    failures = len(entries) - len(ok)
+
+    def mean(values) -> float | None:
+        collected = list(values)
+        return sum(collected) / len(collected) if collected else None
+
+    ict = mean(r.ict_ps for r in ok)
+    detect = mean(
+        r.detected_at_ps - case.fault_at_ps
+        for r in ok if r.detected_at_ps is not None
+    )
+    converge = mean(
+        r.converged_at_ps - case.fault_at_ps
+        for r in ok if r.converged_at_ps is not None
+    )
+    return RecoveryRow(
+        kind=case.kind,
+        label=case.label,
+        scheme=scheme,
+        fault_at_ps=case.fault_at_ps,
+        ict_ps=ict if ict is not None else float(horizon_ps),
+        inflation=None,
+        detect_lag_ps=detect,
+        converge_lag_ps=converge,
+        reroutes=mean(r.reroutes for r in ok) or 0.0,
+        failovers=mean(r.failovers for r in ok) or 0.0,
+        failbacks=mean(r.failbacks for r in ok) or 0.0,
+        degrades=mean(r.proxy_degrades for r in ok) or 0.0,
+        completed=failures == 0 and bool(ok) and all(r.completed for r in ok),
+        failures=failures,
+    )
+
+
+def recovery_sweep(
+    base: IncastScenario | None = None,
+    *,
+    cases: Sequence[RecoveryCase] | None = None,
+    schemes: Sequence[str] | None = None,
+    reps: int = 3,
+    engine: ExperimentEngine | None = None,
+    seed0: int = 0,
+    control: ControlConfig | None = None,
+) -> list[RecoveryRow]:
+    """Run the recovery grid and fold it into per-(case, scheme) rows.
+
+    ``schemes`` defaults to every *currently registered* scheme — install
+    :mod:`repro.competitors` first to cover the plug-ins too.  ``control``
+    defaults to the hop-count model with the stock control-loop delay.
+    """
+    if reps < 1:
+        raise ExperimentError("reps must be at least 1")
+    base = base if base is not None else recovery_base_scenario()
+    cases = list(cases) if cases is not None else build_cases()
+    schemes = tuple(schemes) if schemes is not None else SCHEME_REGISTRY.names()
+    base = replace(base, control=control if control is not None else ControlConfig())
+    engine = engine if engine is not None else ExperimentEngine(workers=1)
+
+    grid = [
+        replace(base, scheme=scheme, faults=case.plan, seed=seed0 + rep)
+        for case in cases
+        for scheme in schemes
+        for rep in range(reps)
+    ]
+    # Positional (quarantine-preserving) results keep the cursor slicing
+    # aligned with the grid for any worker count.
+    results = engine.run_incasts_detailed(grid)
+
+    rows: list[RecoveryRow] = []
+    control_ict: dict[str, float] = {}
+    cursor = 0
+    for case in cases:
+        for scheme in schemes:
+            row = _fold(case, scheme, results[cursor:cursor + reps], base.horizon_ps)
+            cursor += reps
+            if case.kind == "control":
+                control_ict[scheme] = row.ict_ps
+            else:
+                denominator = control_ict.get(scheme)
+                if denominator:
+                    row.inflation = row.ict_ps / denominator
+            rows.append(row)
+    return rows
+
+
+def recovery_digest(rows: Sequence[RecoveryRow]) -> str:
+    """Stable SHA-256 over every folded field (worker-invariance check)."""
+    parts = []
+    for r in rows:
+        parts.append(
+            f"{r.kind}|{r.label}|{r.scheme}|{r.fault_at_ps}|{r.ict_ps!r}"
+            f"|{r.inflation!r}|{r.detect_lag_ps!r}|{r.converge_lag_ps!r}"
+            f"|{r.reroutes!r}|{r.failovers!r}|{r.failbacks!r}|{r.degrades!r}"
+            f"|{r.completed}|{r.failures}"
+        )
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
+
+
+def check_recovery(rows: Sequence[RecoveryRow]) -> list[str]:
+    """The sweep's acceptance invariants; empty list means all hold.
+
+    * control rows complete with **zero** reroutes (an idle control plane
+      must not churn tables);
+    * every scheme survives every link case: the run completes (finite
+      post-recovery ICT) and the controller reconverged at least once;
+    * the ``proxy-failover`` crash cases complete with at least one
+      migration *and* one fail-back counted.
+    """
+    problems = []
+    for r in rows:
+        where = f"{r.label}/{r.scheme}"
+        if r.kind == "control":
+            if not r.completed:
+                problems.append(f"{where}: control run did not complete")
+            if r.reroutes:
+                problems.append(f"{where}: {r.reroutes:g} reroutes with no fault")
+        elif r.kind == "link":
+            if not r.completed:
+                problems.append(f"{where}: did not recover from the link failure")
+            if r.reroutes < 1:
+                problems.append(f"{where}: controller never rerouted")
+            if r.converge_lag_ps is None:
+                problems.append(f"{where}: no convergence time recorded")
+        elif r.kind == "crash" and r.scheme == "proxy-failover":
+            if not r.completed:
+                problems.append(f"{where}: crash+restart run did not complete")
+            if r.failovers < 1:
+                problems.append(f"{where}: no migration counted")
+            if r.failbacks < 1:
+                problems.append(f"{where}: no fail-back counted")
+            if r.detect_lag_ps is None:
+                problems.append(f"{where}: no detection time recorded")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Presentation & export
+# ---------------------------------------------------------------------------
+
+_HEADERS = (
+    "case", "scheme", "ict", "x ctrl", "detect", "converge",
+    "reroutes", "failover", "failback", "degrade", "ok",
+)
+
+
+def _format_row(r: RecoveryRow) -> list[str]:
+    def us(value: float | None) -> str:
+        return "-" if value is None else f"{value / 1e6:.1f}us"
+
+    return [
+        r.label,
+        r.scheme,
+        f"{r.ict_ps / 1e9:.3f}ms",
+        "-" if r.inflation is None else f"{r.inflation:.2f}x",
+        us(r.detect_lag_ps),
+        us(r.converge_lag_ps),
+        f"{r.reroutes:g}",
+        f"{r.failovers:g}",
+        f"{r.failbacks:g}",
+        f"{r.degrades:g}",
+        ("yes" if r.completed else "NO") + (f" ({r.failures}q)" if r.failures else ""),
+    ]
+
+
+def recovery_table(rows: Sequence[RecoveryRow]) -> str:
+    """Render the sweep as the aligned text table the CLI prints."""
+    from repro.experiments.report import render_table
+
+    return render_table(_HEADERS, [_format_row(r) for r in rows])
+
+
+def export_recovery(rows: Sequence[RecoveryRow], directory: Path) -> list[Path]:
+    """Write ``recovery.csv`` and ``recovery.json`` under ``directory``."""
+    directory.mkdir(parents=True, exist_ok=True)
+    fields = (
+        "kind", "label", "scheme", "fault_at_ps", "ict_ps", "inflation",
+        "detect_lag_ps", "converge_lag_ps", "reroutes", "failovers",
+        "failbacks", "degrades", "completed", "failures",
+    )
+    csv_path = directory / "recovery.csv"
+    lines = [",".join(fields)]
+    for r in rows:
+        lines.append(",".join(
+            "" if value is None else str(value)
+            for value in (getattr(r, name) for name in fields)
+        ))
+    csv_path.write_text("\n".join(lines) + "\n")
+    json_path = directory / "recovery.json"
+    json_path.write_text(json.dumps({
+        "schema": 1,
+        "digest": recovery_digest(rows),
+        "rows": [{name: getattr(r, name) for name in fields} for r in rows],
+    }, indent=2) + "\n")
+    return [csv_path, json_path]
+
+
+# ---------------------------------------------------------------------------
+# CLI: python -m repro recovery
+# ---------------------------------------------------------------------------
+
+def _smoke(engine: ExperimentEngine, control: ControlConfig) -> None:
+    """CI smoke: tiny grid over all registered schemes, digest printed,
+    acceptance invariants enforced (exit 1 on violation)."""
+    rows = recovery_sweep(
+        cases=build_cases(link_times_ps=(microseconds(10),)),
+        reps=2,
+        engine=engine,
+        control=control,
+    )
+    print(recovery_table(rows))
+    print(f"sweep_digest: {recovery_digest(rows)}")
+    problems = check_recovery(rows)
+    if problems:
+        for problem in problems:
+            print(f"SMOKE FAILED: {problem}")
+        raise SystemExit(1)
+    distinct_schemes = len({r.scheme for r in rows})
+    print(f"recovery: ok ({len(rows)} rows, {distinct_schemes} schemes)")
+
+
+def main(argv: Sequence[str] | None = None) -> None:
+    """CLI entry point for the recovery sweep."""
+    from repro import competitors
+    from repro.__main__ import (
+        check_common_args,
+        common_parser,
+        export_telemetry,
+        options_from_args,
+        telemetry_from_args,
+    )
+    from repro.control.weights import WEIGHT_MODELS
+    from repro.experiments.figures import build_engine
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro recovery",
+        description="recovery-time sweep: detection, reroute convergence, "
+                    "and post-failure ICT inflation per scheme",
+        parents=[common_parser()],
+    )
+    parser.add_argument(
+        "--reps", type=int, default=3, help="repetitions per grid cell")
+    parser.add_argument(
+        "--weight", choices=tuple(WEIGHT_MODELS), default="hop",
+        help="controller weight model for recomputed routes (default hop)",
+    )
+    parser.add_argument(
+        "--control-delay", type=float, default=50.0, metavar="US",
+        help="control-loop delay in microseconds between a topology event "
+             "and the reinstall (default 50)",
+    )
+    parser.add_argument(
+        "--export", type=Path, default=None, metavar="DIR",
+        help="also write recovery.csv and recovery.json into DIR",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="tiny deterministic grid + acceptance invariants (CI)",
+    )
+    args = parser.parse_args(argv)
+    check_common_args(parser, args)
+    if args.reps < 1:
+        parser.error(f"--reps must be at least 1, got {args.reps}")
+    if args.control_delay < 0:
+        parser.error(f"--control-delay must be >= 0, got {args.control_delay}")
+
+    # The sweep covers every registered scheme, plug-ins included.
+    competitors.install()
+    control = ControlConfig(
+        weight_model=args.weight,
+        control_delay_ps=max(0, int(round(args.control_delay * 1_000_000))),
+    )
+    engine = build_engine(
+        args.workers, args.no_cache, args.cache_dir,
+        run_timeout_s=args.run_timeout,
+        options=options_from_args(args),
+        telemetry=telemetry_from_args(args),
+    )
+
+    if args.smoke:
+        _smoke(engine, control)
+    else:
+        rows = recovery_sweep(reps=args.reps, engine=engine, seed0=args.seed,
+                              control=control)
+        print("\n=== Recovery sweep ===")
+        print(recovery_table(rows))
+        print(f"sweep_digest: {recovery_digest(rows)}")
+        if args.export is not None:
+            for path in export_recovery(rows, args.export):
+                print(f"exported {path}")
+
+    export_telemetry(args, engine)
+    stats = engine.stats
+    if stats.tasks:
+        print(
+            f"\n[engine] {stats.tasks} runs, {stats.cache_hits} cached, "
+            f"{stats.cache_misses} simulated, {stats.failures} quarantined, "
+            f"{stats.retries} retries, workers={stats.workers}, "
+            f"wall {stats.wall_seconds:.2f}s"
+        )
+
+
+if __name__ == "__main__":
+    main()

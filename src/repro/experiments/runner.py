@@ -31,6 +31,7 @@ from typing import Callable
 from repro._compat import _deprecated
 from repro.analysis.sanitizer import Sanitizer
 from repro.config import InterDcConfig, TransportConfig, paper_interdc_config
+from repro.control import ControlConfig, Controller
 from repro.detection.lossdetector import DetectorConfig
 from repro.errors import ExperimentError
 from repro.faults.failover import FailoverConfig
@@ -76,6 +77,10 @@ class IncastScenario:
     faults: FaultPlan = field(default_factory=FaultPlan)
     #: failure-detection parameters (only read by the proxy-failover scheme).
     failover: FailoverConfig = field(default_factory=FailoverConfig)
+    #: reactive control plane: with a ControlConfig, a Controller recomputes
+    #: and reinstalls routes on link-state changes; None (the default)
+    #: leaves the statically built tables untouched.
+    control: ControlConfig | None = None
 
     def __post_init__(self) -> None:
         # Registry lookup (not the frozen SCHEMES tuple) so third-party
@@ -99,6 +104,11 @@ class IncastScenario:
         if not isinstance(self.failover, FailoverConfig):
             raise ExperimentError(
                 f"failover must be a FailoverConfig, got {type(self.failover).__name__}"
+            )
+        if self.control is not None and not isinstance(self.control, ControlConfig):
+            raise ExperimentError(
+                f"control must be a ControlConfig or None, got "
+                f"{type(self.control).__name__}"
             )
 
     def flow_sizes(self) -> list[int]:
@@ -137,8 +147,21 @@ class IncastResult:
     #: naming a role the run does not have (e.g. "proxy" under baseline).
     fault_events_applied: int = 0
     fault_events_skipped: int = 0
-    #: primary->backup migrations performed (proxy-failover scheme only).
+    #: migrations away from the primary proxy (proxy-failover scheme only).
     failovers: int = 0
+    #: migrations *back* onto the restarted primary (proxy pool manager).
+    failbacks: int = 0
+    #: times flows were re-pointed direct because no pool member was alive.
+    proxy_degrades: int = 0
+    #: event-driven route recomputations by the control plane (0 without a
+    #: ControlConfig on the scenario).
+    reroutes: int = 0
+    #: sim time the failover manager first declared the active proxy dead;
+    #: None when no failure was ever detected (or no manager ran).
+    detected_at_ps: int | None = None
+    #: sim time the controller's first event-driven table install landed;
+    #: None when no topology event reached the controller.
+    converged_at_ps: int | None = None
     #: end-of-run packet/byte conservation tally when the run executed with
     #: ``sanitize=True`` (see repro.analysis.sanitizer); None otherwise.
     conservation: dict[str, int] | None = None
@@ -286,6 +309,10 @@ def run_incast(
         ),
     )
 
+    controller = None
+    if scenario.control is not None:
+        controller = Controller(sim, net, scenario.control).start().observe(injector)
+
     inst.phase("run")
     inst.begin_run(sim)
     sim.run(until=scenario.horizon_ps)
@@ -315,6 +342,15 @@ def run_incast(
         fault_events_applied=injector.applied if injector is not None else 0,
         fault_events_skipped=injector.skipped if injector is not None else 0,
         failovers=manager.failovers if manager is not None else 0,
+        failbacks=manager.failbacks if manager is not None else 0,
+        proxy_degrades=manager.degrades if manager is not None else 0,
+        reroutes=controller.reroutes if controller is not None else 0,
+        detected_at_ps=manager.detected_at_ps if manager is not None else None,
+        converged_at_ps=(
+            controller.event_installs[0]
+            if controller is not None and controller.event_installs
+            else None
+        ),
         conservation=conservation,
         telemetry=inst.finish(),
     )

@@ -6,8 +6,10 @@ Public surface:
   :class:`FaultEvent` vocabulary and its JSON (de)serialization;
 * :mod:`repro.faults.injector` — :class:`FaultInjector`, which compiles a
   plan onto the event scheduler against a built topology;
-* :mod:`repro.faults.failover` — the primary/backup proxy failover
-  controller behind the ``proxy-failover`` scheme.
+* :mod:`repro.faults.failover` — the primary/backup proxy failover pair
+  behind the ``proxy-failover`` scheme (a two-member
+  :class:`repro.control.pool.ProxyPoolManager`: detection, migration,
+  degrade-to-direct, fail-back).
 """
 
 from repro.faults.failover import FailoverConfig, FailoverManager

@@ -7,55 +7,48 @@ over mid-incast with no state transfer: the failover controller simply
 re-points every connection's loose source route at the backup.
 
 Detection is modelled as a control-plane heartbeat: the controller probes
-the primary every ``probe_interval_ps``; once the primary has been
+the active proxy every ``probe_interval_ps``; once it has been
 unresponsive for ``detection_timeout_ps`` of consecutive probes, every
 unfinished connection is migrated.  Packets in flight toward the dead
-primary are lost and recovered by the transports' normal RTO/RACK
-machinery over the new path — the measurable cost of a crash is therefore
-detection time plus one recovery round trip, not a full connection
+proxy are lost and recovered by the transports' normal RTO/RACK machinery
+over the new path — the measurable cost of a crash is therefore detection
+time plus one recovery round trip, not a full connection
 re-establishment (the RepFlow/RepNet insight: redundancy is cheap when
 state is small).
+
+The mechanics live in :class:`repro.control.pool.ProxyPoolManager`, so
+migration is no longer one-shot: the backup crashing after a migration
+degrades flows to direct forwarding instead of stranding them, and the
+primary restarting wins the flows back after a stabilization period
+(``failback_stabilization_ps``).  :class:`FailoverManager` is the
+two-member pool the ``proxy-failover`` scheme wires.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING, Sequence
 
-from repro.errors import ConfigError
-from repro.units import microseconds
+from repro.control.pool import FailoverConfig, ProxyPoolManager
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
     from repro.proxy.streamlined import StreamlinedProxy
     from repro.sim.simulator import Simulator
     from repro.transport.connection import Connection
 
-
-@dataclass(frozen=True)
-class FailoverConfig:
-    """Heartbeat-based failure detection parameters."""
-
-    probe_interval_ps: int = microseconds(250)
-    detection_timeout_ps: int = microseconds(500)
-
-    def __post_init__(self) -> None:
-        if self.probe_interval_ps <= 0:
-            raise ConfigError(
-                f"probe_interval_ps must be positive, got {self.probe_interval_ps}"
-            )
-        if self.detection_timeout_ps < self.probe_interval_ps:
-            raise ConfigError(
-                f"detection_timeout_ps ({self.detection_timeout_ps}) must be >= "
-                f"probe_interval_ps ({self.probe_interval_ps})"
-            )
+__all__ = ["FailoverConfig", "FailoverManager"]
 
 
-class FailoverManager:
-    """Probes the primary proxy and migrates connections to the backup.
+class FailoverManager(ProxyPoolManager):
+    """The classic primary + hot-standby pair, as a two-member pool.
 
-    The backup proxy must already have each connection's flow attached
-    (``backup.attach(conn)``) — attachment only registers a handler on the
-    backup host, so it is inert until packets are actually routed there.
+    Both proxies must already have each connection's flow attached
+    (``proxy.attach(conn)``) — attachment only registers a handler on the
+    proxy's host, so it is inert until packets are actually routed there.
+
+    Kept as a named class (and constructor signature) for the
+    ``proxy-failover`` scheme's wiring and for callers that predate the
+    pool generalization; everything else is inherited.
     """
 
     def __init__(
@@ -65,50 +58,9 @@ class FailoverManager:
         backup: "StreamlinedProxy",
         connections: Sequence["Connection"],
         cfg: FailoverConfig | None = None,
+        *,
+        net: "Network | None" = None,
     ) -> None:
-        self.sim = sim
+        super().__init__(sim, (primary, backup), connections, cfg=cfg, net=net)
         self.primary = primary
         self.backup = backup
-        self.connections = list(connections)
-        self.cfg = cfg or FailoverConfig()
-        self.migrated = False
-        self.failovers = 0
-        self.detected_at_ps: int | None = None
-        self._unresponsive_ps = 0
-        self._started = False
-
-    def start(self) -> "FailoverManager":
-        """Begin heartbeat probing (idempotent)."""
-        if not self._started:
-            self._started = True
-            self._schedule_probe()
-        return self
-
-    # -- internals ---------------------------------------------------------------
-
-    def _schedule_probe(self) -> None:
-        self.sim.schedule(self.cfg.probe_interval_ps, self._probe)
-
-    def _probe(self) -> None:
-        if self.migrated or all(c.completed for c in self.connections):
-            return  # job done; stop generating events
-        if self.primary.crashed:
-            self._unresponsive_ps += self.cfg.probe_interval_ps
-            if self._unresponsive_ps >= self.cfg.detection_timeout_ps:
-                self._migrate()
-                return
-        else:
-            self._unresponsive_ps = 0
-        self._schedule_probe()
-
-    def _migrate(self) -> None:
-        self.migrated = True
-        self.failovers += 1
-        self.detected_at_ps = self.sim.now
-        moved = 0
-        for conn in self.connections:
-            if conn.completed or conn.failed:
-                continue
-            conn.reroute_via((self.backup.host,))
-            moved += 1
-        self.sim.trace("failover", "migrate", flows=moved)

@@ -165,6 +165,7 @@ class FaultInjector:
         self.applied = 0
         self.skipped = 0
         self._armed = False
+        self._subscribers: list = []
         # Active overlapping windows per port: lists of fractions/factors.
         self._blackholes: dict[OutputPort, list[float]] = {}
         self._corruptions: dict[OutputPort, list[float]] = {}
@@ -191,38 +192,54 @@ class FaultInjector:
         # ProxyCrash/ProxyRestart roles and CrashRun/StallRun parameters are
         # validated by their own dataclass __post_init__.
 
+    # -- subscription ---------------------------------------------------------
+
+    def subscribe(self, callback) -> None:
+        """Register ``callback(event, applied)``, invoked after each
+        topology/proxy fault fires — the control plane's event feed.
+
+        Engine-test faults (:class:`CrashRun`, :class:`StallRun`) do not
+        notify: they model the simulation *process* failing, which no
+        in-simulation controller could observe.
+        """
+        self._subscribers.append(callback)
+
     # -- firing ---------------------------------------------------------------
 
     def _fire(self, event: FaultEvent) -> None:
-        if isinstance(event, LinkDown):
-            self._count(self._set_links(event.link, up=False))
-        elif isinstance(event, LinkUp):
-            self._count(self._set_links(event.link, up=True))
-        elif isinstance(event, ProxyCrash):
-            self._count(self._proxy_call(event.proxy, "crash"))
-        elif isinstance(event, ProxyRestart):
-            self._count(self._proxy_call(event.proxy, "restart"))
-        elif isinstance(event, PacketBlackhole):
-            self._count(self._open_window(
-                event, self._blackholes, event.drop_fraction, "blackhole_fraction"
-            ))
-        elif isinstance(event, PacketCorrupt):
-            self._count(self._open_window(
-                event, self._corruptions, event.corrupt_fraction, "corrupt_fraction"
-            ))
-        elif isinstance(event, BufferDegrade):
-            self._count(self._open_degrade(event))
-        elif isinstance(event, CrashRun):
+        if isinstance(event, CrashRun):
             self.applied += 1
             raise InjectedFaultError(event.message)
-        elif isinstance(event, StallRun):
+        if isinstance(event, StallRun):
             self.applied += 1
             # A StallRun deliberately burns wall time to exercise the
             # engine's per-run deadline quarantine.
             # repro: allow[wall-clock] deliberate stall fault
             _time.sleep(event.wall_seconds)
+            return
+        if isinstance(event, LinkDown):
+            applied = self._set_links(event.link, up=False)
+        elif isinstance(event, LinkUp):
+            applied = self._set_links(event.link, up=True)
+        elif isinstance(event, ProxyCrash):
+            applied = self._proxy_call(event.proxy, "crash")
+        elif isinstance(event, ProxyRestart):
+            applied = self._proxy_call(event.proxy, "restart")
+        elif isinstance(event, PacketBlackhole):
+            applied = self._open_window(
+                event, self._blackholes, event.drop_fraction, "blackhole_fraction"
+            )
+        elif isinstance(event, PacketCorrupt):
+            applied = self._open_window(
+                event, self._corruptions, event.corrupt_fraction, "corrupt_fraction"
+            )
+        elif isinstance(event, BufferDegrade):
+            applied = self._open_degrade(event)
         else:  # pragma: no cover - new event kinds must be wired here
             raise FaultError(f"injector cannot execute {type(event).__name__}")
+        self._count(applied)
+        for callback in self._subscribers:
+            callback(event, applied)
 
     def _count(self, applied: bool) -> None:
         if applied:

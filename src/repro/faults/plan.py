@@ -29,6 +29,13 @@ against the built topology by :class:`~repro.faults.injector.FaultInjector`;
 a target that names a role absent from the run (e.g. ``"proxy"`` under the
 baseline scheme) is skipped, which keeps one plan comparable across
 schemes.
+
+Plans are validated at construction: besides the per-event field checks,
+contradictory link sequences — a duplicate :class:`LinkDown` on an
+already-down link, a :class:`LinkUp` for a link never downed — raise
+:class:`~repro.errors.ConfigError` immediately (see
+:meth:`FaultPlan._validate_link_sequence` for what counts as
+contradictory and which overlaps are deliberately idempotent instead).
 """
 
 from __future__ import annotations
@@ -216,6 +223,44 @@ class FaultPlan:
                     f"fault plan entries must be FaultEvent instances, got "
                     f"{type(event).__name__}"
                 )
+        self._validate_link_sequence()
+
+    def _validate_link_sequence(self) -> None:
+        """Reject contradictory link events at construction.
+
+        Walks the events in firing order and tracks the declared state of
+        every link target string: a second :class:`LinkDown` while the
+        link is already down, or a :class:`LinkUp` for a link never
+        downed, is a plan bug (typically a copy-paste or merge mistake)
+        and raises :class:`~repro.errors.ConfigError` here instead of
+        silently no-opping mid-run.
+
+        The check is per *exact* target string.  Overlapping symbolic
+        targets (``"backbone"`` alongside ``"backbone:0"``) are treated as
+        independent: the injector applies link changes idempotently at the
+        port level (``set_up`` no-ops on unchanged state), so the overlap
+        is safe by construction and deliberately allowed — plans often
+        combine a broad flap with a targeted one.  ProxyCrash/ProxyRestart
+        are likewise idempotent at the proxy object and not sequenced
+        here: crashing a crashed proxy models a redundant kill signal, not
+        a contradiction.
+        """
+        down: set[str] = set()
+        for event in self.sorted_events():
+            if isinstance(event, LinkDown):
+                if event.link in down:
+                    raise ConfigError(
+                        f"duplicate LinkDown on {event.link!r} at {event.at_ps}: "
+                        "the link is already down"
+                    )
+                down.add(event.link)
+            elif isinstance(event, LinkUp):
+                if event.link not in down:
+                    raise ConfigError(
+                        f"LinkUp on {event.link!r} at {event.at_ps} without a "
+                        "preceding LinkDown"
+                    )
+                down.discard(event.link)
 
     def __bool__(self) -> bool:
         return bool(self.events)

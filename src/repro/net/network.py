@@ -34,6 +34,7 @@ class Network:
         self._next_node_id = 0
         self._next_flow_id = 0
         self._finalized = False
+        self._link_watchers: list = []
 
     # -- construction ---------------------------------------------------------
 
@@ -102,6 +103,31 @@ class Network:
             }
         self._finalized = True
 
+    def install_tables(self, tables) -> None:
+        """Reinstall next-hop tables on every switch (control-plane hook).
+
+        Updates each distinct routing strategy in place and rebuilds the
+        switches' single-candidate ``direct_ports`` fast path — the fast
+        path bypasses the strategy, so skipping the rebuild would leave
+        packets forwarding along the stale tables forever.
+        """
+        if not self._finalized:
+            raise TopologyError("install_tables() requires a finalized network")
+        strategies: list = []
+        for switch in self.switches:
+            strategy = switch.routing
+            if strategy is None:
+                continue
+            if all(s is not strategy for s in strategies):
+                strategies.append(strategy)
+                strategy.update_tables(tables)
+        for switch in self.switches:
+            switch.direct_ports = {
+                dst: switch.ports[hops[0]]
+                for dst, hops in tables.get(switch.id, {}).items()
+                if len(hops) == 1 and hops[0] in switch.ports
+            }
+
     # -- identifiers ----------------------------------------------------------
 
     def new_flow_id(self) -> int:
@@ -139,6 +165,20 @@ class Network:
         )
         return 2 * one_way
 
+    def edge_delay_ps(self, a_id: int, b_id: int) -> int:
+        """Propagation delay of the direct ``a -> b`` link."""
+        try:
+            return self._edge_attrs[(a_id, b_id)][1]
+        except KeyError:
+            raise TopologyError(f"no link between nodes {a_id} and {b_id}") from None
+
+    def edge_rate_bps(self, a_id: int, b_id: int) -> float:
+        """Rate of the direct ``a -> b`` link."""
+        try:
+            return self._edge_attrs[(a_id, b_id)][0]
+        except KeyError:
+            raise TopologyError(f"no link between nodes {a_id} and {b_id}") from None
+
     def bottleneck_rate_bps(self, src_id: int, dst_id: int) -> float:
         """Bottleneck (minimum) link rate on a minimum-delay path.
 
@@ -154,19 +194,35 @@ class Network:
 
     # -- failure injection -------------------------------------------------------
 
+    def subscribe_link_state(self, callback) -> None:
+        """Register ``callback(a_id, b_id, up)``, called on actual changes.
+
+        The feed a control plane (:class:`repro.control.Controller`)
+        reconverges from; no-op transitions (setting an up link up) do not
+        notify.
+        """
+        self._link_watchers.append(callback)
+
     def set_link_state(self, a_id: int, b_id: int, up: bool) -> None:
         """Bring both directions of the a<->b link up or down, immediately.
 
-        Routing tables are static: a downed link models transient loss that
-        transports must absorb (RTO/RACK), not control-plane reconvergence.
+        Without a subscribed control plane, routing tables are static: a
+        downed link models transient loss that transports must absorb
+        (RTO/RACK).  Watchers registered with :meth:`subscribe_link_state`
+        are notified of genuine state changes and may recompute and
+        reinstall tables (see :mod:`repro.control`).
         """
         try:
             port_ab = self.nodes[a_id].ports[b_id]
             port_ba = self.nodes[b_id].ports[a_id]
         except KeyError:
             raise TopologyError(f"no link between nodes {a_id} and {b_id}") from None
+        changed = port_ab.up != up or port_ba.up != up
         port_ab.set_up(up)
         port_ba.set_up(up)
+        if changed:
+            for callback in self._link_watchers:
+                callback(a_id, b_id, up)
 
     def fail_link(self, a_id: int, b_id: int, at_ps: int, duration_ps: int) -> None:
         """Schedule a transient failure of the a<->b link."""

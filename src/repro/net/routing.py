@@ -1,8 +1,12 @@
 """Routing strategies and next-hop table construction.
 
-Tables are built once, after the topology is wired: for every destination
-host we BFS outward and record, at each node, the set of neighbors lying on
-a shortest (hop-count) path.  Strategies then choose among those neighbors:
+Tables are built after the topology is wired: for every destination host
+we BFS outward and record, at each node, the set of neighbors lying on a
+shortest (hop-count) path.  A control plane (:mod:`repro.control`) may
+later recompute tables under a different weight model and reinstall them
+through :meth:`RoutingStrategy.update_tables` /
+:meth:`repro.net.network.Network.install_tables`.  Strategies choose among
+the tabled neighbors:
 
 * :class:`SprayRouting` — uniform random choice **per packet** (the paper's
   packet spraying);
@@ -58,6 +62,23 @@ class RoutingStrategy:
     """Chooses the next hop for a packet at a switch."""
 
     def __init__(self, tables: NextHopTable) -> None:
+        self._tables = tables
+
+    @property
+    def tables(self) -> NextHopTable:
+        """The currently installed next-hop tables."""
+        return self._tables
+
+    def update_tables(self, tables: NextHopTable) -> None:
+        """Swap in freshly computed next-hop tables (control-plane hook).
+
+        Strategies are shared across switches, so one call redirects every
+        switch using this strategy.  Callers must also rebuild the
+        switches' single-candidate ``direct_ports`` fast path — it bypasses
+        the strategy entirely and would otherwise keep forwarding along the
+        stale tables (:meth:`repro.net.network.Network.install_tables` does
+        both).
+        """
         self._tables = tables
 
     def candidates(self, switch: "Switch", packet: Packet) -> tuple[int, ...]:

@@ -11,7 +11,12 @@ the trade-offs are measurable.
 
 from repro.orchestration.admission import AdmissionDecision, ProxyAdmissionPolicy
 from repro.orchestration.state import ProxyInfo, ProxyRegistry
-from repro.orchestration.policies import least_bytes, least_loaded, make_round_robin
+from repro.orchestration.policies import (
+    least_bytes,
+    least_loaded,
+    make_queue_depth,
+    make_round_robin,
+)
 from repro.orchestration.central import CentralOrchestrator
 from repro.orchestration.decentralized import DecentralizedSelector
 from repro.orchestration.run import MultiIncastResult, run_concurrent_incasts
@@ -26,6 +31,7 @@ __all__ = [
     "ProxyRegistry",
     "least_bytes",
     "least_loaded",
+    "make_queue_depth",
     "make_round_robin",
     "run_concurrent_incasts",
 ]

@@ -28,6 +28,38 @@ def least_bytes(registry: ProxyRegistry) -> int:
     return best.host_id
 
 
+def make_queue_depth(hosts_by_id: dict, net=None) -> Policy:
+    """Telemetry-driven placement: pick the proxy whose local queues are
+    shallowest *right now*.
+
+    Depth is the candidate host's NIC backlog plus (when ``net`` is
+    given) the backlog of every switch port feeding that host — the same
+    signal the control plane's proxy pool uses to choose a migration
+    target.  Ties break by registry load, then host id, so selection
+    stays deterministic.  Registry-only policies see assignments; this
+    one sees the actual bytes queued in the fabric.
+    """
+
+    def depth(host_id: int) -> int:
+        host = hosts_by_id[host_id]
+        total = host.nic.backlog_bytes
+        if net is not None:
+            for neighbor in net.adjacency.get(host.id, ()):
+                port = net.nodes[neighbor].ports.get(host.id)
+                if port is not None:
+                    total += port.backlog_bytes
+        return total
+
+    def policy(registry: ProxyRegistry) -> int:
+        proxies = registry.proxies
+        if not proxies:
+            raise OrchestrationError("no registered proxies")
+        best = min(proxies, key=lambda p: (depth(p.host_id), p.load, p.host_id))
+        return best.host_id
+
+    return policy
+
+
 def make_round_robin() -> Policy:
     """A stateful round-robin policy (ignores load)."""
     cursor = [0]

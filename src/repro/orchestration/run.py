@@ -9,6 +9,9 @@ strategy.  Strategies:
 * ``"shared"``        — every incast through one fixed proxy (contention);
 * ``"central"``       — global least-loaded orchestrator;
 * ``"round-robin"``   — central orchestrator, load-blind rotation;
+* ``"queue-depth"``   — central orchestrator placing each incast on the
+  proxy host with the shallowest queues at selection time (the live
+  telemetry signal the control plane's proxy pool also uses);
 * ``"decentralized"`` — per-incast random probing with retries.
 """
 
@@ -23,7 +26,7 @@ from repro.metrics.collector import NetworkCounters, collect_network_counters
 from repro.orchestration.admission import AdmissionDecision, ProxyAdmissionPolicy
 from repro.orchestration.central import CentralOrchestrator
 from repro.orchestration.decentralized import DecentralizedSelector
-from repro.orchestration.policies import least_loaded, make_round_robin
+from repro.orchestration.policies import least_loaded, make_queue_depth, make_round_robin
 from repro.orchestration.state import ProxyRegistry
 from repro.schemes import SCHEME_REGISTRY
 from repro.sim.rng import derive_stream
@@ -33,7 +36,8 @@ from repro.transport.connection import Connection
 from repro.units import seconds
 from repro.workloads.incast import IncastJob
 
-STRATEGIES = ("none", "shared", "central", "round-robin", "decentralized")
+STRATEGIES = ("none", "shared", "central", "round-robin", "queue-depth",
+              "decentralized")
 
 
 @dataclass
@@ -130,6 +134,8 @@ def run_concurrent_incasts(
         selector = DecentralizedSelector(registry, rng)
     elif strategy == "round-robin":
         selector = CentralOrchestrator(registry, make_round_robin())
+    elif strategy == "queue-depth":
+        selector = CentralOrchestrator(registry, make_queue_depth(hosts_by_id, net))
     else:  # central, shared
         selector = CentralOrchestrator(registry, least_loaded)
 

@@ -382,7 +382,7 @@ def _wire_via(ctx: SchemeContext, make_proxy: ProxyFactory,
         conn.start()
     if backup is not None:
         wiring.manager = FailoverManager(
-            ctx.sim, proxy, backup, conns, cfg=scenario.failover
+            ctx.sim, proxy, backup, conns, cfg=scenario.failover, net=ctx.net
         ).start()
     return wiring
 
@@ -454,7 +454,9 @@ SCHEME_REGISTRY.register(SchemeSpec(
     crash_semantics=(
         "heartbeat failure detector migrates attached flows to a hot-"
         "standby proxy; stateless plane makes migration loss-free past "
-        "the packets in flight"
+        "the packets in flight; the standby crashing too degrades flows "
+        "to direct forwarding, and a restarted primary wins them back "
+        "after a stabilization period"
     ),
     make_proxy=_make_streamlined_proxy,
     wire=_wire_proxy_failover,

@@ -315,3 +315,133 @@ class TestProxyFailover:
         result = run_incast(_fault_scenario("streamlined", faults=plan))
         assert result.completed
         assert result.fault_events_skipped == 1
+
+
+#: Tight pool timings so detection, migration, restart, and fail-back all
+#: land inside one small incast (mirrors the recovery sweep's settings).
+_FAST_POOL = FailoverConfig(
+    probe_interval_ps=microseconds(50),
+    detection_timeout_ps=microseconds(100),
+    failback_stabilization_ps=microseconds(100),
+)
+
+
+class TestFailbackAndDegrade:
+    """The pool manager past its first migration: fail-back when the
+    primary returns, degrade to direct when the whole pool is dead."""
+
+    def test_primary_restart_wins_flows_back(self):
+        # Crash -> detect -> migrate -> restart -> stabilize -> fail back.
+        # The old manager stopped probing after the first migration, so
+        # this ordering silently pinned flows to the backup forever.
+        plan = proxy_crash_plan(
+            at_ps=microseconds(10), restart_after_ps=microseconds(300)
+        )
+        result = run_incast(
+            _fault_scenario("proxy-failover", faults=plan, failover=_FAST_POOL)
+        )
+        assert result.completed
+        assert result.failed_flows == 0
+        assert result.failovers == 1
+        assert result.failbacks == 1
+        assert result.proxy_degrades == 0
+
+    def test_restart_before_detection_prevents_migration(self):
+        # The restart lands inside the detection window: the streak resets
+        # and no migration (or fail-back) ever happens.
+        plan = proxy_crash_plan(
+            at_ps=microseconds(10), restart_after_ps=microseconds(20)
+        )
+        result = run_incast(
+            _fault_scenario("proxy-failover", faults=plan, failover=_FAST_POOL)
+        )
+        assert result.completed
+        assert result.failovers == 0
+        assert result.failbacks == 0
+
+    def test_backup_crash_after_migration_degrades_to_direct(self):
+        # Crash the primary, migrate, then crash the backup too: with no
+        # live member left the manager must strip the detour and let the
+        # flows run direct rather than stranding them on a dead proxy.
+        plan = FaultPlan((
+            ProxyCrash(at_ps=microseconds(10), proxy="primary"),
+            ProxyCrash(at_ps=microseconds(400), proxy="backup"),
+        ))
+        result = run_incast(
+            _fault_scenario("proxy-failover", faults=plan, failover=_FAST_POOL)
+        )
+        assert result.completed
+        assert result.failed_flows == 0
+        assert result.failovers == 1
+        assert result.proxy_degrades == 1
+
+    def test_backup_first_then_primary_degrades_without_migration(self):
+        # Reverse ordering: the backup dies while idle, then the primary
+        # dies too.  No live target exists at detection time, so the pool
+        # degrades straight to direct instead of migrating.
+        plan = FaultPlan((
+            ProxyCrash(at_ps=microseconds(10), proxy="backup"),
+            ProxyCrash(at_ps=microseconds(60), proxy="primary"),
+        ))
+        result = run_incast(
+            _fault_scenario("proxy-failover", faults=plan, failover=_FAST_POOL)
+        )
+        assert result.completed
+        assert result.failed_flows == 0
+        assert result.failovers == 0
+        assert result.proxy_degrades == 1
+
+    def test_stabilization_validation(self):
+        with pytest.raises(ConfigError):
+            FailoverConfig(
+                probe_interval_ps=microseconds(50),
+                detection_timeout_ps=microseconds(100),
+                failback_stabilization_ps=microseconds(10),
+            )
+
+
+class TestFaultPlanLinkValidation:
+    """Contradictory link timelines are rejected at construction."""
+
+    def test_duplicate_linkdown_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan((
+                LinkDown(at_ps=0, link="backbone:0"),
+                LinkDown(at_ps=10, link="backbone:0"),
+            ))
+
+    def test_linkup_without_linkdown_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan((LinkUp(at_ps=10, link="backbone:0"),))
+
+    def test_down_up_down_is_valid(self):
+        plan = FaultPlan((
+            LinkDown(at_ps=0, link="backbone:0"),
+            LinkUp(at_ps=10, link="backbone:0"),
+            LinkDown(at_ps=20, link="backbone:0"),
+        ))
+        assert len(plan.sorted_events()) == 3
+
+    def test_distinct_targets_are_independent(self):
+        plan = FaultPlan((
+            LinkDown(at_ps=0, link="backbone:0"),
+            LinkDown(at_ps=0, link="backbone:1"),
+        ))
+        assert len(plan.sorted_events()) == 2
+
+    def test_validation_uses_time_order_not_tuple_order(self):
+        # Events may be listed out of order; the timeline is what counts.
+        plan = FaultPlan((
+            LinkUp(at_ps=10, link="backbone:0"),
+            LinkDown(at_ps=0, link="backbone:0"),
+        ))
+        assert len(plan.sorted_events()) == 2
+
+    def test_repeated_crash_restart_cycles_are_idempotent_not_errors(self):
+        # Proxy timelines stay idempotent by design (documented on the
+        # plan): a second crash of a crashed proxy is a no-op, not a bug.
+        plan = FaultPlan((
+            ProxyCrash(at_ps=0, proxy="primary"),
+            ProxyCrash(at_ps=10, proxy="primary"),
+        ))
+        assert len(plan.sorted_events()) == 2
