@@ -16,7 +16,10 @@ Commands:
   across a link-failure × proxy-crash grid
   (see ``python -m repro recovery --help``);
 * ``lint``     — the determinism linter over ``src`` and ``benchmarks``
-  (see ``python -m repro lint --help``); exits non-zero on violations.
+  (see ``python -m repro lint --help``); exits non-zero on violations;
+* ``races``    — the dynamic race detector: re-run scenarios under
+  perturbed same-tick event orders, diff digests, and bisect divergences
+  (see ``python -m repro races --help``).
 
 ``python -m repro --version`` prints the library version.
 
@@ -223,6 +226,10 @@ def main(argv: list[str] | None = None) -> None:
         from repro.analysis.lint import main as lint_main
 
         raise SystemExit(lint_main(args))
+    elif command == "races":
+        from repro.analysis.races import main as races_main
+
+        races_main(args)
     elif command == "quickstart":
         parser = argparse.ArgumentParser(
             prog="python -m repro quickstart",
@@ -235,7 +242,7 @@ def main(argv: list[str] | None = None) -> None:
     else:
         print(f"unknown command {command!r}; "
               "try: figures, verdicts, quickstart, faults, bakeoff, "
-              "recovery, lint",
+              "recovery, lint, races",
               file=sys.stderr)
         raise SystemExit(2)
 

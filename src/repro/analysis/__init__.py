@@ -13,6 +13,18 @@ Two halves keep the reproduction honest:
   hosts, and transport that assert clock monotonicity, queue bounds, and
   window invariants during the run, then prove exact end-of-run packet and
   byte conservation reconciled against the data plane's own counters.
+
+Two further passes ride on the same machinery:
+
+* the **packet-ownership pass** (:mod:`repro.analysis.ownership`) models
+  the :class:`~repro.net.pool.PacketPool` contract (acquire →
+  forward-or-release exactly once per path) and feeds the
+  ``pool-leak-path`` / ``use-after-release`` / ``sync-alloc-in-delivery``
+  rules of the linter;
+* the **dynamic race detector** (:mod:`repro.analysis.races`,
+  ``python -m repro races``) shuffles same-tick event order across
+  serialization domains and diffs result digests, bisecting any
+  divergence to the first order-dependent tick.
 """
 
 from repro.analysis.lint import DEFAULT_TARGETS, lint_file, lint_paths

@@ -11,15 +11,23 @@ the line directly above, for multi-line statements)::
     lost = {s for s in dropped}
     for seq in lost:  # repro: allow[set-iteration] report order irrelevant
 
-``allow[*]`` suppresses every rule on that line.  Suppressions are
+``allow[*]`` suppresses every rule on that line.  For a finding inside a
+*decorated* function's signature, the comment may also sit directly above
+the first decorator — the natural place to write it.  Suppressions are
 per-line and per-rule by design — there is no file-wide opt-out, so a
 module cannot silently drift out of coverage.
+
+``--format`` selects the output: ``plain`` (the default
+``path:line: [rule] message`` lines), ``json`` (a machine-readable array),
+or ``github`` (workflow-command annotations that surface inline on pull
+requests).
 """
 
 from __future__ import annotations
 
 import argparse
 import ast
+import json
 import re
 from pathlib import Path
 from typing import Iterable, Sequence
@@ -46,11 +54,41 @@ def _suppressions(source_lines: Sequence[str]) -> dict[int, frozenset[str]]:
     return allowed
 
 
-def _is_suppressed(violation: Violation, allowed: dict[int, frozenset[str]]) -> bool:
+def _decorator_anchors(tree: ast.Module) -> dict[int, int]:
+    """Map signature lines of decorated defs to their first decorator line.
+
+    A violation in a decorated function's signature sits *below* the
+    decorator stack, so "the line above" is a decorator, not the place a
+    human writes the comment.  This map lets the suppression check walk
+    past the decorators to the line above the first one.
+    """
+    anchors: dict[int, int] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+            continue
+        if not node.decorator_list or not node.body:
+            continue
+        first = min(d.lineno for d in node.decorator_list)
+        for line in range(node.lineno, node.body[0].lineno):
+            anchors[line] = first
+    return anchors
+
+
+def _is_suppressed(
+    violation: Violation,
+    allowed: dict[int, frozenset[str]],
+    anchors: dict[int, int] | None = None,
+) -> bool:
     # A comment suppresses its own line and the line below it, so multi-line
     # statements can carry the allow on the opening line (or a line of their
-    # own just above).
-    for names in (allowed.get(violation.line), allowed.get(violation.line - 1)):
+    # own just above).  For decorated defs, the line above the first
+    # decorator also counts.
+    lines = [violation.line, violation.line - 1]
+    anchor = (anchors or {}).get(violation.line)
+    if anchor is not None:
+        lines.append(anchor - 1)
+    for names in (allowed.get(line) for line in lines):
         if names is not None and (violation.rule in names or "*" in names):
             return True
     return False
@@ -73,12 +111,13 @@ def lint_file(
     except ValueError:
         relpath = path.as_posix()
     allowed = _suppressions(source.splitlines())
+    anchors = _decorator_anchors(tree)
     violations = [
         violation
         for rule in rules
         if rule.applies_to(relpath)
         for violation in rule.check(tree, relpath)
-        if not _is_suppressed(violation, allowed)
+        if not _is_suppressed(violation, allowed, anchors)
     ]
     return sorted(violations, key=lambda v: (v.line, v.rule, v.message))
 
@@ -127,22 +166,43 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--format", choices=("plain", "json", "github"), default="plain",
+        help="output format: plain path:line lines (default), a JSON array, "
+             "or GitHub workflow annotations (::error file=...)",
+    )
     args = parser.parse_args(argv)
     if args.list_rules:
         for rule in RULES:
-            print(f"{rule.name:<16} {rule.summary}")
+            print(f"{rule.name:<24} {rule.summary}")
         return 0
     try:
         violations = lint_paths(args.paths or None)
     except LintError as exc:
         print(f"lint error: {exc}")
         return 2
+    if args.format == "json":
+        print(json.dumps(
+            [{"rule": v.rule, "path": v.path, "line": v.line,
+              "message": v.message} for v in violations],
+            indent=2,
+        ))
+        return 1 if violations else 0
     for violation in violations:
-        print(violation.render())
+        if args.format == "github":
+            message = violation.message.replace("%", "%25").replace(
+                "\n", "%0A")
+            print(f"::error file={violation.path},line={violation.line},"
+                  f"title={violation.rule}::{message}")
+        else:
+            print(violation.render())
     if violations:
-        names = ", ".join(sorted({v.rule for v in violations}))
-        print(f"{len(violations)} violation(s) ({names}); "
-              f"suppress intentional ones with '# repro: allow[rule-name]'")
+        # The human-readable tally would corrupt machine-parsed output:
+        # github annotations are matched line-by-line by the runner.
+        if args.format == "plain":
+            names = ", ".join(sorted({v.rule for v in violations}))
+            print(f"{len(violations)} violation(s) ({names}); "
+                  f"suppress intentional ones with '# repro: allow[rule-name]'")
         return 1
     return 0
 

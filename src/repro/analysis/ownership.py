@@ -1,0 +1,421 @@
+"""Packet-ownership static analysis: the :class:`~repro.net.pool.PacketPool`
+contract, checked at lint time.
+
+The pool's runtime contract is *acquire → forward-or-release, exactly once
+per path*: a packet taken from ``pool.data()`` / ``pool.ack()`` /
+``pool.nack()`` must, on every control-flow path, either be handed to
+exactly one consumer (``host.send``, a queue, a return value) or be
+``release()``d back — and never touched again afterwards.  The runtime
+sanitizer catches double releases when a run happens to execute the buggy
+path; this module catches the same bug class on *every* path, from the
+source alone.
+
+Three analyses, surfaced as linter rules in :mod:`repro.analysis.rules`:
+
+* :func:`find_pool_leaks` (``pool-leak-path``) — a local assigned from a
+  pool acquire that some path (early return, raise, or fall-through)
+  neither releases nor forwards.  Leaked packets never return to the free
+  list, so a sweep's pool statistics drift and long runs balloon.
+* :func:`find_use_after_release` (``use-after-release``) — any load of a
+  name after ``name.release()`` / ``pool.give(name)`` on the same path.
+  The pool recycles storage, so the fields read belong to a *different*
+  packet by then; a second release trips the sanitizer at runtime, but
+  only on the path that executes it.
+* :func:`find_sync_alloc_in_delivery` (``sync-alloc-in-delivery``) — a
+  pool allocation inside a *delivery tap*: a function that takes the
+  in-flight packet and forwards it to a continuation callable.  The tap
+  runs synchronously inside the port's delivery stack, so allocating and
+  sending there re-enters the port mid-delivery — the pulser detection
+  bug, whose fix defers emission with ``sim.schedule(0, ...)``.
+
+The walkers are deliberately CFG-lite: branches of an ``if`` are analyzed
+independently and merged (a branch ending in ``return``/``raise`` does not
+propagate), loop bodies are walked once, and nested ``def``/``lambda``
+bodies are skipped (each function is analyzed on its own; closures run
+later and own their captures).  State is *may*-released / *may*-leak — an
+over-approximation, so a finding means "some path", and an intentional
+exception is suppressed in place with ``# repro: allow[rule-name]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "find_pool_leaks",
+    "find_sync_alloc_in_delivery",
+    "find_use_after_release",
+]
+
+#: Pool factory methods whose return value is an owned packet.
+ACQUIRE_METHODS = frozenset({"data", "ack", "nack"})
+
+#: Parameter names that mark a function as a packet-delivery handler.
+PACKET_PARAMS = frozenset({"packet", "pkt"})
+
+
+def _receiver_component(node: ast.expr) -> str:
+    """The last attribute/name component of a call receiver (``a.b.pool``
+    -> ``pool``)."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def is_pool_acquire(node: ast.AST) -> bool:
+    """Whether ``node`` is a ``<...pool>.data/ack/nack(...)`` call."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in ACQUIRE_METHODS
+        and "pool" in _receiver_component(node.func.value).lower()
+    )
+
+
+def _released_names(stmt: ast.AST) -> Iterator[str]:
+    """Names released in ``stmt``: ``n.release()`` or ``pool.give(n)``."""
+    for node in _walk_shallow(stmt):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if (func.attr == "release" and not node.args
+                and isinstance(func.value, ast.Name)):
+            yield func.value.id
+        elif (func.attr == "give"
+                and "pool" in _receiver_component(func.value).lower()):
+            for arg in node.args:
+                if isinstance(arg, ast.Name):
+                    yield arg.id
+
+
+def _walk_shallow(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that does not descend into nested function bodies."""
+    stack: list[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda, ast.ClassDef)):
+                continue
+            stack.append(child)
+
+
+def _assigned_names(stmt: ast.AST) -> Iterator[str]:
+    """Plain names (re)bound by ``stmt`` — their old value is gone."""
+    for node in _walk_shallow(stmt):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store,
+                                                                ast.Del)):
+            yield node.id
+
+
+def _functions(
+    tree: ast.Module,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+# -- use-after-release ---------------------------------------------------------
+
+
+class _UseAfterRelease:
+    """May-released dataflow over one function body."""
+
+    def __init__(self) -> None:
+        self.findings: list[tuple[ast.AST, str]] = []
+
+    def run(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        self._body(fn.body, frozenset())
+
+    def _body(
+        self, body: list[ast.stmt], released: frozenset[str]
+    ) -> frozenset[str] | None:
+        """Walk statements; None means every path out of ``body`` exits."""
+        state: frozenset[str] | None = released
+        for stmt in body:
+            assert state is not None
+            state = self._stmt(stmt, state)
+            if state is None:
+                break
+        return state
+
+    def _merge(
+        self, *branches: frozenset[str] | None
+    ) -> frozenset[str] | None:
+        alive = [b for b in branches if b is not None]
+        if not alive:
+            return None
+        merged: frozenset[str] = frozenset()
+        for branch in alive:
+            merged |= branch
+        return merged
+
+    def _stmt(
+        self, stmt: ast.stmt, released: frozenset[str]
+    ) -> frozenset[str] | None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return released  # nested definitions are analyzed on their own
+        if isinstance(stmt, ast.If):
+            self._flag_loads(stmt.test, released)
+            return self._merge(
+                self._body(stmt.body, released),
+                self._body(stmt.orelse, released),
+            )
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._flag_loads(stmt.iter, released)
+            entry = released - frozenset(_assigned_names(stmt.target))
+            return self._merge(
+                entry, self._body(stmt.body, entry),
+                self._body(stmt.orelse, entry),
+            )
+        if isinstance(stmt, ast.While):
+            self._flag_loads(stmt.test, released)
+            return self._merge(
+                released, self._body(stmt.body, released),
+                self._body(stmt.orelse, released),
+            )
+        if isinstance(stmt, ast.Try):
+            after_body = self._body(stmt.body, released)
+            survivors = [after_body]
+            for handler in stmt.handlers:
+                survivors.append(self._body(handler.body, released))
+            merged = self._merge(*survivors)
+            if stmt.orelse and merged is not None:
+                merged = self._body(stmt.orelse, merged)
+            if stmt.finalbody:
+                merged = self._body(
+                    stmt.finalbody, merged if merged is not None else released
+                )
+            return merged
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._flag_loads(item.context_expr, released)
+            entry = released
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    entry = entry - frozenset(
+                        _assigned_names(item.optional_vars)
+                    )
+            return self._body(stmt.body, entry)
+        # Simple statement: flag stale loads, then update state.
+        self._flag_loads(stmt, released)
+        if isinstance(stmt, (ast.Return, ast.Raise, ast.Break, ast.Continue)):
+            return None
+        survivors = released - frozenset(_assigned_names(stmt))
+        return survivors | frozenset(_released_names(stmt))
+
+    def _flag_loads(self, node: ast.AST, released: frozenset[str]) -> None:
+        if not released:
+            return
+        for sub in _walk_shallow(node):
+            if (isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load)
+                    and sub.id in released):
+                self.findings.append((
+                    sub,
+                    f"'{sub.id}' is used after release(); the pool may have "
+                    "recycled it into a different packet by now",
+                ))
+
+
+def find_use_after_release(tree: ast.Module) -> Iterator[tuple[ast.AST, str]]:
+    """Loads of a packet variable after it went back to the pool."""
+    for fn in _functions(tree):
+        walker = _UseAfterRelease()
+        walker.run(fn)
+        yield from walker.findings
+
+
+# -- pool-leak-path ------------------------------------------------------------
+
+
+class _LeakPaths:
+    """Live acquired-packet tracking over one function body.
+
+    ``live`` maps a local name to the acquire call that produced it; a
+    name is *consumed* when it is released, passed to any call, returned,
+    yielded, or its value is re-assigned elsewhere (ownership transfer).
+    Paths that exit with a live name leak it.
+    """
+
+    def __init__(self) -> None:
+        self.findings: list[tuple[ast.AST, str]] = []
+        self._reported: set[tuple[int, int]] = set()
+
+    def run(self, fn: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        final = self._body(fn.body, {})
+        if final:
+            last = fn.body[-1]
+            self._leak(final, getattr(last, "lineno", fn.lineno))
+
+    def _leak(self, live: dict[str, ast.Call], exit_line: int) -> None:
+        for name, acquire in live.items():
+            key = (acquire.lineno, acquire.col_offset)
+            if key in self._reported:
+                continue
+            self._reported.add(key)
+            self.findings.append((
+                acquire,
+                f"'{name}' acquired from the pool here is neither released "
+                f"nor forwarded on the path exiting at line {exit_line}",
+            ))
+
+    def _body(
+        self, body: list[ast.stmt], live: dict[str, ast.Call]
+    ) -> dict[str, ast.Call] | None:
+        state: dict[str, ast.Call] | None = dict(live)
+        for stmt in body:
+            assert state is not None
+            state = self._stmt(stmt, state)
+            if state is None:
+                break
+        return state
+
+    def _merge(
+        self, *branches: dict[str, ast.Call] | None
+    ) -> dict[str, ast.Call] | None:
+        alive = [b for b in branches if b is not None]
+        if not alive:
+            return None
+        merged: dict[str, ast.Call] = {}
+        for branch in alive:
+            merged.update(branch)
+        return merged
+
+    def _stmt(
+        self, stmt: ast.stmt, live: dict[str, ast.Call]
+    ) -> dict[str, ast.Call] | None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return live
+        if isinstance(stmt, ast.If):
+            return self._merge(
+                self._body(stmt.body, live), self._body(stmt.orelse, live)
+            )
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            body_out = self._body(stmt.body, live)
+            else_out = self._body(stmt.orelse, live)
+            return self._merge(live, body_out, else_out)
+        if isinstance(stmt, ast.Try):
+            after_body = self._body(stmt.body, live)
+            survivors = [after_body]
+            for handler in stmt.handlers:
+                survivors.append(self._body(handler.body, live))
+            merged = self._merge(*survivors)
+            if stmt.orelse and merged is not None:
+                merged = self._body(stmt.orelse, merged)
+            if stmt.finalbody:
+                merged = self._body(
+                    stmt.finalbody, merged if merged is not None else live
+                )
+            return merged
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._body(stmt.body, live)
+        # Simple statement.
+        consumed = self._consumed_names(stmt)
+        survivors = {
+            name: node for name, node in live.items()
+            if name not in consumed
+        }
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._leak(survivors, stmt.lineno)
+            return None
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            return None  # re-joins the loop; checked at the loop's merge
+        for name in _assigned_names(stmt):
+            survivors.pop(name, None)
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            value = stmt.value
+            if value is not None and is_pool_acquire(value):
+                targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                           else [stmt.target])
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        assert isinstance(value, ast.Call)
+                        survivors[target.id] = value
+        return survivors
+
+    def _consumed_names(self, stmt: ast.stmt) -> frozenset[str]:
+        consumed: set[str] = set()
+        consumed.update(_released_names(stmt))
+        for node in _walk_shallow(stmt):
+            if isinstance(node, ast.Call):
+                values: list[ast.expr] = list(node.args)
+                values.extend(kw.value for kw in node.keywords)
+                for value in values:
+                    sub = value.value if isinstance(value, ast.Starred) else value
+                    if isinstance(sub, ast.Name):
+                        consumed.add(sub.id)
+            elif isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom)):
+                if node.value is not None:
+                    for sub in _walk_shallow(node.value):
+                        if isinstance(sub, ast.Name):
+                            consumed.add(sub.id)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                if node.value is not None:
+                    for sub in _walk_shallow(node.value):
+                        if (isinstance(sub, ast.Name)
+                                and isinstance(sub.ctx, ast.Load)
+                                and not is_pool_acquire(node.value)):
+                            consumed.add(sub.id)
+        return frozenset(consumed)
+
+
+def find_pool_leaks(tree: ast.Module) -> Iterator[tuple[ast.AST, str]]:
+    """Pool acquisitions that some path neither releases nor forwards."""
+    for fn in _functions(tree):
+        walker = _LeakPaths()
+        walker.run(fn)
+        yield from walker.findings
+
+
+# -- sync-alloc-in-delivery ----------------------------------------------------
+
+
+def _packet_params(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> frozenset[str]:
+    args = fn.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    return frozenset(n for n in names if n in PACKET_PARAMS)
+
+
+def _is_delivery_tap(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef, packets: frozenset[str]
+) -> bool:
+    """A tap forwards its packet parameter to a continuation *callable*
+    (a bare name — a wrapped deliver function or closure), rather than to
+    a component method; that is the interposition shape whose body runs
+    inside the port's synchronous delivery stack."""
+    for node in _walk_shallow(fn):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+            continue
+        for arg in node.args:
+            if isinstance(arg, ast.Name) and arg.id in packets:
+                return True
+    return False
+
+
+def find_sync_alloc_in_delivery(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.AST, str]]:
+    """Pool allocations inside a synchronous delivery tap."""
+    for fn in _functions(tree):
+        packets = _packet_params(fn)
+        if not packets or not _is_delivery_tap(fn, packets):
+            continue
+        for node in _walk_shallow(fn):
+            if is_pool_acquire(node):
+                assert isinstance(node, ast.Call)
+                yield (
+                    node,
+                    f"pool allocation inside the delivery tap {fn.name}(); "
+                    "the tapped packet is still in flight through the port, "
+                    "so sending from here re-enters delivery — defer with "
+                    "sim.schedule(0, ...)",
+                )

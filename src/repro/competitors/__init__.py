@@ -22,9 +22,17 @@ CLI installs them for every run.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING, Callable
+
 from repro.competitors.pulser import PulserAgent, _wire_pulser, _wire_pulser_dist
 from repro.competitors.repflow import _wire_repflow
 from repro.schemes import SCHEME_REGISTRY, SchemeRegistry, register_scheme
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.schemes import SchemeContext, SchemeWiring
+
+    #: wiring callable + display name + crash-semantics blurb, per scheme
+    _WiringSpec = tuple[Callable[["SchemeContext"], "SchemeWiring"], str, str]
 
 #: Names this package contributes, in presentation order.
 COMPETITOR_SCHEMES = ("repflow", "pulser", "pulser-dist")
@@ -39,8 +47,8 @@ def install(
     ``replace`` is True.
     """
     target = registry if registry is not None else SCHEME_REGISTRY
-    installed = []
-    wirings = {
+    installed: list[str] = []
+    wirings: "dict[str, _WiringSpec]" = {
         "repflow": (
             _wire_repflow,
             "RepFlow (replicated, disjoint spray)",

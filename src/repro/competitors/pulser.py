@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.net.packet import PacketType
+from repro.net.packet import Packet, PacketType
 from repro.patterns.controller import PatternAwareController
 from repro.patterns.detector import DetectorSettings
 from repro.patterns.distributed import feed_controller, make_detection_backend
@@ -36,7 +36,8 @@ from repro.transport.connection import Connection
 from repro.units import milliseconds
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.net.node import Host
+    from repro.net.node import Host, PacketHandler
+    from repro.patterns.detector import DetectionEvent
     from repro.patterns.distributed import DetectionBackend
     from repro.schemes import SchemeContext
     from repro.sim.simulator import Simulator
@@ -79,8 +80,8 @@ class PulserAgent:
         inner = host.handlers[flow_id]
         host.unregister_handler(flow_id)
 
-        def tap(packet, _inner=inner):
-            event = None
+        def tap(packet: Packet, _inner: "PacketHandler" = inner) -> None:
+            event: "DetectionEvent | None" = None
             if packet.kind == PacketType.DATA and not packet.trimmed:
                 # Read fields before delegating: the receiver may release
                 # (and the pool recycle) the packet inside the handler.
@@ -94,7 +95,7 @@ class PulserAgent:
         host.register_handler(flow_id, tap)
         self._flows.append((conn, sender_host))
 
-    def _on_detection(self, event) -> None:
+    def _on_detection(self, event: "DetectionEvent") -> None:
         self.pulses += 1
         if self.controller is not None:
             feed_controller(self.controller, event)

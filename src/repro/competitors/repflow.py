@@ -17,7 +17,7 @@ after the winner has already delivered.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.net.routing import install_disjoint_spray
 from repro.schemes import SchemeWiring
@@ -37,14 +37,18 @@ def _wire_repflow(ctx: "SchemeContext") -> SchemeWiring:
         on_fail = ctx.make_on_fail(i)
         copy_failures = [0]
 
-        def one_copy_failed(sender, _failures=copy_failures, _on_fail=on_fail):
+        def one_copy_failed(
+            sender: Any,
+            _failures: list[int] = copy_failures,
+            _on_fail: Callable[[Any], None] = on_fail,
+        ) -> None:
             # First-copy-wins implies last-copy-loses: the flow only fails
             # once *both* replicas have given up.
             _failures[0] += 1
             if _failures[0] >= 2:
                 _on_fail(sender)
 
-        copies = []
+        copies: list[Connection] = []
         for lane, tag in ((0, "a"), (1, "b")):
             conn = Connection(
                 ctx.net, host, ctx.receiver, size, transport,

@@ -29,15 +29,29 @@ any worker count.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Sequence
+from typing import TYPE_CHECKING, Protocol, Sequence
 
 from repro.errors import ConfigError
 from repro.units import microseconds
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Host
     from repro.net.network import Network
     from repro.sim.simulator import Simulator
     from repro.transport.connection import Connection
+
+
+class PoolMember(Protocol):
+    """What the pool manager needs from a member: any proxy flavour fits.
+
+    ``crashed`` is the health flag fault injection toggles; ``host`` is
+    the node whose access-link queues the migration heuristic reads.
+    """
+
+    crashed: bool
+
+    @property
+    def host(self) -> "Host": ...
 
 
 @dataclass(frozen=True)
@@ -84,7 +98,7 @@ class ProxyPoolManager:
     def __init__(
         self,
         sim: "Simulator",
-        members: Sequence[object],
+        members: Sequence["PoolMember"],
         connections: Sequence["Connection"],
         cfg: FailoverConfig | None = None,
         *,
@@ -163,7 +177,7 @@ class ProxyPoolManager:
                 best, best_key = i, key
         return best
 
-    def _queue_depth(self, member) -> int:
+    def _queue_depth(self, member: "PoolMember") -> int:
         """Current backlog (bytes) on the member host's access link.
 
         Covers both directions when the manager knows the network: the

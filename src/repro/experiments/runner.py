@@ -239,6 +239,15 @@ def run_incast(
     sim = Simulator(
         seed=scenario.seed, tracer=options.tracer, instrumentation=inst
     )
+    if options.tie_break_seed is not None:
+        # Dynamic race detection: permute same-tick event order under a
+        # named substream.  Imported lazily — repro.analysis.races imports
+        # this module at top level.
+        from repro.analysis.races import install_tie_break
+
+        install_tie_break(
+            sim, options.tie_break_seed, limit=options.tie_break_limit
+        )
     inst.phase("build")
     sanitizer = Sanitizer().install(sim) if options.sanitize else None
     trimming = spec.trimming

@@ -55,6 +55,8 @@ class Packet:
         "retx",
         "_pool",
         "_freed",
+        "_acquired_at",
+        "_released_at",
     )
 
     def __init__(
@@ -102,6 +104,12 @@ class Packet:
         # PacketPool right after construction; None for hand-built packets.
         self._pool = None
         self._freed = False
+        # Provenance, stamped by a sanitizing pool: the call sites
+        # ("file:line") that acquired and released this packet, so
+        # double-release and stale-reference diagnostics name the
+        # offending components instead of just the packet.
+        self._acquired_at: str | None = None
+        self._released_at: str | None = None
 
     def release(self) -> None:
         """Hand this packet back to its pool (no-op for unpooled packets).

@@ -25,7 +25,10 @@ flag check, always on).  With ``sanitize`` enabled the pool also verifies
 at *acquire* time — via ``sys.getrefcount`` — that nothing still references
 a packet about to be recycled; acquire time is the reliable place to check
 because the releasing call stack (which legitimately still holds the
-packet) has exited by then.
+packet) has exited by then.  A sanitizing pool additionally stamps each
+packet with acquire/release *provenance* (the first caller frame outside
+the pool, as ``file:line``), so a double release names both offending
+sites instead of just the packet.
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ import sys
 from typing import TYPE_CHECKING
 
 from repro.errors import SanitizerError
+from repro.net import packet as _packet_module
 from repro.net.packet import HEADER_BYTES, Packet, PacketType
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -43,6 +47,23 @@ if TYPE_CHECKING:  # pragma: no cover
 #: list with no leaked references: the local variable plus the getrefcount
 #: argument itself.
 _CLEAN_REFCOUNT = 2
+
+#: Files whose frames are skipped when resolving provenance call sites:
+#: the pool's own machinery and ``Packet.release``'s delegation.  Exact
+#: module files, not basenames, so callers that merely share a filename
+#: (tests/test_pool.py, repro/control/pool.py) are reported correctly.
+_INTERNAL_FRAMES = frozenset({__file__, _packet_module.__file__})
+
+
+def _caller_site() -> str:
+    """``file:line`` of the nearest caller frame outside the pool layer."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if filename not in _INTERNAL_FRAMES:
+            return f"{filename.rsplit('/', 1)[-1]}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
 
 
 class PacketPool:
@@ -71,17 +92,40 @@ class PacketPool:
                 f"(refcount {sys.getrefcount(packet)}, expected "
                 f"{_CLEAN_REFCOUNT}): {packet!r} — some component kept a "
                 f"packet past its release()"
+                + self._provenance(packet)
             )
         packet._freed = False
         self.reused += 1
         return packet
 
+    def _stamp(self, packet: Packet) -> Packet:
+        """Record acquire provenance on a sanitizing pool; free otherwise."""
+        if self.sanitize:
+            packet._acquired_at = _caller_site()
+            packet._released_at = None
+        return packet
+
+    @staticmethod
+    def _provenance(packet: Packet) -> str:
+        parts = []
+        if packet._acquired_at is not None:
+            parts.append(f"acquired at {packet._acquired_at}")
+        if packet._released_at is not None:
+            parts.append(f"released at {packet._released_at}")
+        return f" ({', '.join(parts)})" if parts else ""
+
     def give(self, packet: Packet) -> None:
         """Return ``packet`` to the free list (packets call this via
         :meth:`~repro.net.packet.Packet.release`)."""
         if packet._freed:
-            raise SanitizerError(f"packet released twice: {packet!r}")
+            raise SanitizerError(
+                f"packet released twice: {packet!r}"
+                + self._provenance(packet)
+                + f"; second release at {_caller_site()}"
+            )
         packet._freed = True
+        if self.sanitize:
+            packet._released_at = _caller_site()
         self.released += 1
         self._free.append(packet)
 
@@ -132,7 +176,7 @@ class PacketPool:
                 retx=retx,
             )
             packet._pool = self
-            return packet
+            return self._stamp(packet)
         packet.flow_id = flow_id
         packet.kind = PacketType.DATA
         packet.is_control = False
@@ -152,7 +196,7 @@ class PacketPool:
         packet.ts = ts
         packet.ts_echo = -1
         packet.retx = retx
-        return packet
+        return self._stamp(packet)
 
     def ack(
         self,
@@ -185,7 +229,7 @@ class PacketPool:
             )
             packet._pool = self
             packet.ecn_echo = ecn_echo
-            return packet
+            return self._stamp(packet)
         packet.flow_id = flow_id
         packet.kind = PacketType.ACK
         packet.is_control = True
@@ -205,7 +249,7 @@ class PacketPool:
         packet.ts = ts
         packet.ts_echo = ts_echo
         packet.retx = 0
-        return packet
+        return self._stamp(packet)
 
     def nack(
         self,
@@ -232,7 +276,7 @@ class PacketPool:
                 ts_echo=ts_echo,
             )
             packet._pool = self
-            return packet
+            return self._stamp(packet)
         packet.flow_id = flow_id
         packet.kind = PacketType.NACK
         packet.is_control = True
@@ -252,4 +296,4 @@ class PacketPool:
         packet.ts = -1
         packet.ts_echo = ts_echo
         packet.retx = 0
-        return packet
+        return self._stamp(packet)

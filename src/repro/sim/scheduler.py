@@ -49,6 +49,14 @@ from repro.sim.events import Event
 #: unique, so the payload is never compared).
 Entry = tuple[int, int, Any]
 
+#: The pluggable same-tick permutation hook (the dynamic race detector,
+#: see :mod:`repro.analysis.races`).  Called as ``hook(time, entries)``
+#: with the live same-tick batch in ``(time, seq)`` order; returns a
+#: permutation of those entries, or None to keep the FIFO order.  The
+#: hook only ever reorders *within* one tick — time ordering and the
+#: cancellation bookkeeping are untouched.
+TieBreakHook = Callable[[int, "list[Entry]"], "list[Entry] | None"]
+
 #: Bucket width is 2**19 ps ~= 0.5 us: a busy port's next serialization
 #: event (~0.66 us for a full payload at 100 Gb/s) lands a bucket or two
 #: ahead of the drain cursor — the O(1) append path — while a typical run
@@ -61,10 +69,15 @@ class EventScheduler:
     """A time-ordered queue of cancellable events (calendar-queue backed)."""
 
     __slots__ = ("_seq", "_pending", "_buckets", "_bucket_heap", "_cur",
-                 "_cur_g", "_idx", "_shift", "_batch")
+                 "_cur_g", "_idx", "_shift", "_batch", "tie_break")
 
     def __init__(self, bucket_shift: int = BUCKET_SHIFT) -> None:
         self._seq = 0
+        #: Optional same-tick permutation hook (see :data:`TieBreakHook`).
+        #: None (the default) preserves the FIFO contract bit-for-bit: the
+        #: hook is consulted only on multi-entry ticks, off the singleton
+        #: fast path, so disabled runs execute the identical event order.
+        self.tie_break: TieBreakHook | None = None
         # Live count of non-cancelled events in the queue.  Incremented on
         # push, decremented by Event.cancel() and by the pop paths when a
         # live event leaves the queue, so __len__ is O(1).
@@ -269,6 +282,11 @@ class EventScheduler:
             entry = scan
         self._idx = idx
         self._pending = pending
+        hook = self.tie_break
+        if hook is not None:
+            permuted = hook(t, batch)
+            if permuted is not None and permuted is not batch:
+                batch[:] = permuted
         return t, batch
 
     def unpop(self, entries: list[Entry]) -> None:
@@ -311,12 +329,18 @@ class HeapEventScheduler:
     the cache digests of every recorded sweep depend on the two agreeing.
     """
 
-    __slots__ = ("_heap", "_seq", "_pending")
+    __slots__ = ("_heap", "_seq", "_pending", "_ready", "tie_break")
 
     def __init__(self) -> None:
         self._heap: list[tuple[int, int, Event]] = []
         self._seq = 0
         self._pending = 0
+        #: Same-tick permutation hook (see :data:`TieBreakHook`).  With a
+        #: hook installed, pop_next drains a whole tick into ``_ready``,
+        #: permutes it once, then serves events from the buffer; with the
+        #: hook None the original pop-one-at-a-time path runs unchanged.
+        self.tie_break: TieBreakHook | None = None
+        self._ready: list[Event] = []
 
     def schedule_at(self, time: int, callback: Callable[[], Any]) -> Event:
         """Schedule ``callback`` at absolute tick ``time``; returns the handle."""
@@ -329,6 +353,9 @@ class HeapEventScheduler:
 
     def next_time(self) -> int | None:
         """Absolute tick of the earliest pending event, or None if empty."""
+        for event in self._ready:
+            if not event.cancelled:
+                return event.time
         heap = self._heap
         while heap:
             if heap[0][2].cancelled:
@@ -340,13 +367,41 @@ class HeapEventScheduler:
     def pop_next(self) -> Event | None:
         """Remove and return the earliest pending event, or None if empty."""
         heap = self._heap
-        while heap:
-            event = heapq.heappop(heap)[2]
-            if not event.cancelled:
-                event._scheduler = None
-                self._pending -= 1
-                return event
-        return None
+        ready = self._ready
+        while True:
+            while ready:
+                event = ready.pop(0)
+                if not event.cancelled:
+                    event._scheduler = None
+                    self._pending -= 1
+                    return event
+            hook = self.tie_break
+            if hook is None:
+                while heap:
+                    event = heapq.heappop(heap)[2]
+                    if not event.cancelled:
+                        event._scheduler = None
+                        self._pending -= 1
+                        return event
+                return None
+            # Drain every live entry at the earliest tick, permute once,
+            # then serve from the buffer.  Entries cancelled while buffered
+            # are skipped at serve time above, exactly like lazy heap pops.
+            while heap and heap[0][2].cancelled:
+                heapq.heappop(heap)
+            if not heap:
+                return None
+            t = heap[0][0]
+            batch: list[Entry] = []
+            while heap and heap[0][0] == t:
+                entry = heapq.heappop(heap)
+                if not entry[2].cancelled:
+                    batch.append(entry)
+            if len(batch) > 1:
+                permuted = hook(t, batch)
+                if permuted is not None:
+                    batch = list(permuted)
+            ready.extend(e[2] for e in batch)
 
     def __len__(self) -> int:
         """Number of pending (non-cancelled) events.  O(1)."""

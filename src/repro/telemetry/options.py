@@ -50,6 +50,14 @@ class RunOptions:
       lands in ``IncastResult.telemetry``.
     * ``sample_interval_ps`` / ``max_samples`` — the recorder's sampling
       cadence (simulated time) and per-series memory bound.
+    * ``tie_break_seed`` — install the dynamic race detector's
+      :class:`~repro.analysis.races.TieBreakScheduler`: same-tick event
+      batches are permuted under the named ``tiebreak:<seed>`` RNG
+      substream.  None (the default) leaves the scheduler's FIFO contract
+      untouched and is guaranteed bit-identical to runs before the hook
+      existed.
+    * ``tie_break_limit`` — permute only the first N multi-entry ticks
+      (the bisection knob; None = every tick).
     """
 
     sanitize: bool = False
@@ -58,12 +66,18 @@ class RunOptions:
     telemetry: bool = False
     sample_interval_ps: int = DEFAULT_SAMPLE_INTERVAL_PS
     max_samples: int = DEFAULT_MAX_SAMPLES
+    tie_break_seed: int | None = None
+    tie_break_limit: int | None = None
 
     def __post_init__(self) -> None:
         if self.sample_interval_ps <= 0:
             raise ConfigError("sample_interval_ps must be positive")
         if self.max_samples <= 0:
             raise ConfigError("max_samples must be positive")
+        if self.tie_break_limit is not None and self.tie_break_limit < 0:
+            raise ConfigError("tie_break_limit must be non-negative")
+        if self.tie_break_limit is not None and self.tie_break_seed is None:
+            raise ConfigError("tie_break_limit requires tie_break_seed")
 
     def build_instrumentation(self) -> Instrumentation:
         """The instrumentation one run should carry.
@@ -89,4 +103,5 @@ class RunOptions:
             or self.telemetry
             or self.tracer is not None
             or self.instrumentation is not None
+            or self.tie_break_seed is not None
         )

@@ -1,5 +1,6 @@
 """The determinism linter: rule catalogue, suppressions, CLI exit codes."""
 
+import json
 from pathlib import Path
 
 import pytest
@@ -123,6 +124,27 @@ class TestSuppressions:
         )
         assert {v.rule for v in lint_source(tmp_path, source)} == {"id-key"}
 
+    def test_comment_above_decorator_covers_the_signature(self, tmp_path):
+        # A mutable-default violation anchors at the `def` line, but the
+        # only place a human can hang the comment is above the decorator.
+        source = (
+            "# repro: allow[mutable-default] shared scratch, test-only\n"
+            "@wraps(inner)\n"
+            "@retry(3)\n"
+            "def f(a=[]):\n"
+            "    pass\n"
+        )
+        assert lint_source(tmp_path, source) == []
+
+    def test_decorator_comment_does_not_cover_the_body(self, tmp_path):
+        source = (
+            "# repro: allow[id-key]\n"
+            "@wraps(inner)\n"
+            "def f(a):\n"
+            "    return id(a)\n"
+        )
+        assert {v.rule for v in lint_source(tmp_path, source)} == {"id-key"}
+
 
 class TestCli:
     def test_list_rules_exits_zero(self, capsys):
@@ -146,6 +168,34 @@ class TestCli:
         other = tmp_path / "notes.txt"
         other.write_text("hello")
         assert main([str(other)]) == 2
+
+    def test_json_format_emits_machine_readable_records(self, capsys):
+        assert main(["--format=json", str(BAD_EXAMPLE)]) == 1
+        records = json.loads(capsys.readouterr().out)
+        assert records, "expected findings on the bad-example fixture"
+        assert {r["rule"] for r in records} == set(rule_names())
+        for record in records:
+            assert set(record) == {"rule", "path", "line", "message"}
+            assert record["path"].endswith("lint_bad_example.py")
+            assert isinstance(record["line"], int) and record["line"] > 0
+
+    def test_json_format_empty_list_when_clean(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text('"""Clean."""\n')
+        assert main(["--format=json", str(clean)]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_github_format_emits_error_annotations(self, capsys):
+        assert main(["--format=github", str(BAD_EXAMPLE)]) == 1
+        lines = capsys.readouterr().out.splitlines()
+        assert lines and all(l.startswith("::error file=") for l in lines)
+        assert any(",title=pool-leak-path::" in l for l in lines)
+
+    def test_github_format_silent_when_clean(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text('"""Clean."""\n')
+        assert main(["--format=github", str(clean)]) == 0
+        assert capsys.readouterr().out == ""
 
 
 class TestRegistry:

@@ -1,0 +1,223 @@
+"""The packet-ownership static pass (repro.analysis.ownership).
+
+Each analysis is exercised on minimal source snippets: the deliberate-bug
+shapes must fire, and the idiomatic pool usage in the tree (release on
+every path, forward-and-forget, deferred emission) must stay quiet.
+"""
+
+import ast
+import textwrap
+
+from repro.analysis.ownership import (
+    find_pool_leaks,
+    find_sync_alloc_in_delivery,
+    find_use_after_release,
+    is_pool_acquire,
+)
+
+
+def _findings(finder, source):
+    tree = ast.parse(textwrap.dedent(source))
+    return list(finder(tree))
+
+
+class TestAcquireDetection:
+    def test_pool_receivers_match(self):
+        for snippet in (
+            "pool.data(1)", "self.pool.nack(1)",
+            "self.sim.packet_pool.ack(1)",
+        ):
+            assert is_pool_acquire(ast.parse(snippet).body[0].value)
+
+    def test_non_pool_receivers_do_not(self):
+        for snippet in ("self.data(1)", "pool.take()", "frame.nack(1)"):
+            assert not is_pool_acquire(ast.parse(snippet).body[0].value)
+
+
+class TestPoolLeaks:
+    def test_early_return_leaks(self):
+        found = _findings(find_pool_leaks, """
+            def emit(self, flow_id):
+                pulse = self.pool.nack(flow_id, 0, 1, 2)
+                if self.done:
+                    return None
+                self.host.send(pulse)
+        """)
+        assert len(found) == 1
+        node, message = found[0]
+        assert "'pulse'" in message
+        assert node.lineno == 3  # anchored at the acquire, not the return
+
+    def test_fallthrough_leaks(self):
+        found = _findings(find_pool_leaks, """
+            def emit(self):
+                pulse = self.pool.nack(1, 0, 1, 2)
+                self.count += 1
+        """)
+        assert len(found) == 1
+
+    def test_release_on_every_path_is_clean(self):
+        assert not _findings(find_pool_leaks, """
+            def emit(self, flow_id):
+                pulse = self.pool.nack(flow_id, 0, 1, 2)
+                if self.done:
+                    pulse.release()
+                    return None
+                self.host.send(pulse)
+        """)
+
+    def test_forwarding_consumes(self):
+        # Passing to any call, returning, or aliasing transfers ownership.
+        assert not _findings(find_pool_leaks, """
+            def a(self):
+                p = self.pool.data(1, 0, 1, 2, 100)
+                return p
+
+            def b(self):
+                p = self.pool.data(1, 0, 1, 2, 100)
+                self.queue.append(p)
+
+            def c(self):
+                p = self.pool.data(1, 0, 1, 2, 100)
+                self.pending = p
+        """)
+
+    def test_raise_path_leaks(self):
+        found = _findings(find_pool_leaks, """
+            def emit(self):
+                p = self.pool.ack(1, 0, 1, ack_seq=0, echo_seq=0,
+                                  ecn_echo=False, ts_echo=-1)
+                if p.size_bytes > self.mtu:
+                    raise ValueError("oversized")
+                self.host.send(p)
+        """)
+        assert len(found) == 1
+
+    def test_one_finding_per_acquire(self):
+        # Two leaky exits from one acquire report once, at the acquire.
+        found = _findings(find_pool_leaks, """
+            def emit(self):
+                p = self.pool.nack(1, 0, 1, 2)
+                if self.a:
+                    return 1
+                if self.b:
+                    return 2
+                self.host.send(p)
+        """)
+        assert len(found) == 1
+
+
+class TestUseAfterRelease:
+    def test_stale_read_after_release(self):
+        found = _findings(find_use_after_release, """
+            def on_ack(self, packet):
+                packet.release()
+                self.bytes_seen += packet.size_bytes
+        """)
+        assert len(found) == 1
+        assert "after release()" in found[0][1]
+
+    def test_double_release_is_a_stale_load(self):
+        found = _findings(find_use_after_release, """
+            def on_ack(self, packet):
+                packet.release()
+                packet.release()
+        """)
+        assert len(found) == 1
+
+    def test_pool_give_counts_as_release(self):
+        found = _findings(find_use_after_release, """
+            def drop(self, packet):
+                self.pool.give(packet)
+                return packet.flow_id
+        """)
+        assert len(found) == 1
+
+    def test_release_then_exit_is_clean(self):
+        assert not _findings(find_use_after_release, """
+            def on_ack(self, packet):
+                seq = packet.ack_seq
+                packet.release()
+                return seq
+        """)
+
+    def test_branch_local_release_only_poisons_that_path(self):
+        # Released in one branch, used in the other: the use is fine, the
+        # merge afterwards is not.
+        assert not _findings(find_use_after_release, """
+            def on_packet(self, packet):
+                if packet.corrupted:
+                    packet.release()
+                    return None
+                self.host.send(packet)
+        """)
+        found = _findings(find_use_after_release, """
+            def on_packet(self, packet):
+                if packet.corrupted:
+                    packet.release()
+                self.count += packet.size_bytes
+        """)
+        assert len(found) == 1
+
+    def test_rebinding_clears_the_poison(self):
+        assert not _findings(find_use_after_release, """
+            def pump(self):
+                packet = self.pool.nack(1, 0, 1, 2)
+                packet.release()
+                packet = self.pool.nack(2, 0, 1, 2)
+                self.host.send(packet)
+        """)
+
+
+class TestSyncAllocInDelivery:
+    PULSER_SHAPE = """
+        def watch(self, conn):
+            inner = self.host.handlers[conn.flow_id]
+
+            def tap(packet, _inner=inner):
+                _inner(packet)
+                pulse = self.pool.nack(conn.flow_id, 0, 1, 2)
+                self.host.send(pulse)
+    """
+
+    def test_pulser_tap_shape_fires(self):
+        found = _findings(find_sync_alloc_in_delivery, self.PULSER_SHAPE)
+        assert len(found) == 1
+        assert "tap" in found[0][1]
+        assert "sim.schedule(0" in found[0][1]
+
+    def test_deferred_emission_is_clean(self):
+        # The fixed pulser: the tap only observes; allocation happens in a
+        # separately scheduled callback that is not itself a tap.
+        assert not _findings(find_sync_alloc_in_delivery, """
+            def watch(self, conn):
+                inner = self.host.handlers[conn.flow_id]
+
+                def tap(packet, _inner=inner):
+                    self.backend.observe(packet.src)
+                    _inner(packet)
+                    self.sim.schedule(0, self._emit)
+
+            def _emit(self):
+                pulse = self.pool.nack(1, 0, 1, 2)
+                self.host.send(pulse)
+        """)
+
+    def test_method_dispatch_is_not_a_tap(self):
+        # Receivers hand packets to component *methods*; that is normal
+        # delivery, not interposition.
+        assert not _findings(find_sync_alloc_in_delivery, """
+            def on_packet(self, packet):
+                self.receiver.handle(packet)
+                ack = self.pool.ack(1, 0, 1, ack_seq=0, echo_seq=0,
+                                    ecn_echo=False, ts_echo=-1)
+                self.host.send(ack)
+        """)
+
+    def test_functions_without_packet_params_are_skipped(self):
+        assert not _findings(find_sync_alloc_in_delivery, """
+            def emit(self, deliver):
+                deliver(self.frame)
+                pulse = self.pool.nack(1, 0, 1, 2)
+                self.host.send(pulse)
+        """)

@@ -90,6 +90,108 @@ class TestSafetyRails:
         assert pool.reused == 1
 
 
+class TestProvenance:
+    def test_sanitizing_pool_stamps_acquire_sites(self):
+        pool = PacketPool(sanitize=True)
+        packet = pool.data(1, 0, 10, 20, 1000)
+        assert packet._acquired_at is not None
+        assert packet._acquired_at.startswith("test_pool.py:")
+        assert packet._released_at is None
+
+    def test_plain_pool_skips_the_stamp(self):
+        # Provenance is a sanitize-only cost: the hot path stays frame-free.
+        pool = PacketPool()
+        packet = pool.data(1, 0, 10, 20, 1000)
+        assert packet._acquired_at is None
+        packet.release()
+        assert packet._released_at is None
+
+    def test_double_release_names_both_sites(self):
+        pool = PacketPool(sanitize=True)
+        packet = pool.data(1, 0, 10, 20, 1000)
+        packet.release()
+        with pytest.raises(SanitizerError) as exc:
+            packet.release()
+        message = str(exc.value)
+        assert "acquired at test_pool.py:" in message
+        assert "released at test_pool.py:" in message
+        assert "second release at test_pool.py:" in message
+
+    def test_refcount_diagnostic_names_the_acquire_site(self):
+        pool = PacketPool(sanitize=True)
+        leaked = pool.data(1, 0, 10, 20, 1000)
+        leaked.release()
+        with pytest.raises(SanitizerError) as exc:
+            pool.data(2, 0, 10, 20, 1000)
+        assert "acquired at test_pool.py:" in str(exc.value)
+
+    def test_reacquire_clears_stale_release_site(self):
+        pool = PacketPool(sanitize=True)
+        first = pool.data(1, 0, 10, 20, 1000)
+        first.release()
+        del first  # drop the frame's reference so the recycle is clean
+        again = pool.data(2, 0, 10, 20, 1000)
+        assert again._released_at is None
+        assert again._acquired_at is not None
+
+
+class TestFaultPlanDiagnostics:
+    """The pool rails stay quiet across drop-heavy fault plans.
+
+    Faults exercise the ownership contract's hardest paths — ports
+    releasing packets they drop on a downed link, a crashed proxy
+    releasing the batch it absorbed — so a sanitized run under a fault
+    plan is the strongest end-to-end check that every component releases
+    exactly once.
+    """
+
+    @staticmethod
+    def _scenario(scheme, faults):
+        from repro.config import TransportConfig, small_interdc_config
+        from repro.experiments.runner import IncastScenario
+        from repro.units import kilobytes, seconds
+
+        return IncastScenario(
+            scheme=scheme, degree=4, total_bytes=kilobytes(400),
+            interdc=small_interdc_config(),
+            transport=TransportConfig(max_consecutive_timeouts=8),
+            horizon_ps=seconds(2), faults=faults,
+        )
+
+    def test_sanitized_run_survives_link_down_mid_delivery(self):
+        from repro.experiments.runner import run_incast
+        from repro.faults.plan import FaultPlan, LinkDown, LinkUp
+        from repro.telemetry.options import RunOptions
+        from repro.units import microseconds
+
+        plan = FaultPlan((
+            LinkDown(at_ps=microseconds(20)),
+            LinkUp(at_ps=microseconds(220)),
+        ))
+        result = run_incast(
+            self._scenario("streamlined", plan), RunOptions(sanitize=True)
+        )
+        # Packets in flight when the link dropped were released by the
+        # port, not leaked: conservation closed and no rail tripped.
+        assert result.counters.packets_lost_to_failures > 0
+        assert result.conservation is not None
+
+    def test_sanitized_run_survives_proxy_crash_holding_a_batch(self):
+        from repro.experiments.runner import run_incast
+        from repro.faults.plan import FaultPlan, ProxyCrash, ProxyRestart
+        from repro.telemetry.options import RunOptions
+        from repro.units import microseconds
+
+        plan = FaultPlan((
+            ProxyCrash(at_ps=microseconds(30), proxy="primary"),
+            ProxyRestart(at_ps=microseconds(230), proxy="primary"),
+        ))
+        result = run_incast(
+            self._scenario("streamlined", plan), RunOptions(sanitize=True)
+        )
+        assert result.conservation is not None
+
+
 class TestSimulatorIntegration:
     def test_simulator_owns_a_pool_and_sanitizer_arms_it(self):
         from repro.analysis.sanitizer import Sanitizer

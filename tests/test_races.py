@@ -1,0 +1,209 @@
+"""The dynamic race detector: tie-break permutation, bisection, fixture.
+
+Covers the three contracts ``python -m repro races`` rests on:
+
+* **neutrality** — without ``tie_break_seed`` the scheduler hook is never
+  installed, so default runs are byte-identical to pre-detector behavior;
+* **perturbation semantics** — canonical normalization applies to every
+  multi-entry tick, the shuffle is guaranteed non-identity, and ``limit``
+  gates only the shuffle (``limit=0`` is the comparable baseline);
+* **detection** — the seeded order-sensitive scheme is caught by
+  :func:`check_scenarios` and bisected back to its racy tick.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis.races import (
+    ORDER_SENSITIVE_SCHEME,
+    TickRecord,
+    TieBreakScheduler,
+    bisect_divergence,
+    check_scenarios,
+    handler_qualname,
+    install_tie_break,
+    register_order_sensitive_fixture,
+    result_digest,
+    unregister_order_sensitive_fixture,
+)
+from repro.config import TransportConfig, small_interdc_config
+from repro.errors import ConfigError, ExperimentError
+from repro.experiments.runner import IncastScenario, run_incast
+from repro.sim.simulator import Simulator
+from repro.telemetry.options import RunOptions
+from repro.units import kilobytes
+
+
+def _scenario(**overrides):
+    base = IncastScenario(
+        degree=2,
+        total_bytes=kilobytes(100),
+        interdc=small_interdc_config(),
+        transport=TransportConfig(payload_bytes=4096),
+    )
+    return replace(base, **overrides) if overrides else base
+
+
+@pytest.fixture
+def racy_scheme():
+    register_order_sensitive_fixture()
+    yield ORDER_SENSITIVE_SCHEME
+    unregister_order_sensitive_fixture()
+
+
+# Named module-level callbacks so canonical keys sort predictably:
+# ("anon", __name__, "_alpha") < ("anon", __name__, "_beta").
+_CALLS: list[str] = []
+
+
+def _alpha() -> None:
+    _CALLS.append("alpha")
+
+
+def _beta() -> None:
+    _CALLS.append("beta")
+
+
+def _run_tick(detector_args: dict, schedule_order=("beta", "alpha")):
+    """Schedule two free-floating callbacks at one tick and run them."""
+    del _CALLS[:]
+    sim = Simulator(seed=7)
+    detector = install_tie_break(sim, 1, **detector_args)
+    for name in schedule_order:
+        sim.schedule(1_000, _alpha if name == "alpha" else _beta)
+    sim.run()
+    return detector
+
+
+class TestRunOptionsValidation:
+    def test_limit_requires_seed(self):
+        with pytest.raises(ConfigError):
+            RunOptions(tie_break_limit=0)
+
+    def test_limit_must_be_non_negative(self):
+        with pytest.raises(ConfigError):
+            RunOptions(tie_break_seed=1, tie_break_limit=-1)
+
+    def test_seed_bypasses_cache(self):
+        assert RunOptions(tie_break_seed=1).bypasses_cache
+        assert not RunOptions().bypasses_cache
+
+
+class TestNeutrality:
+    def test_default_runs_never_install_the_hook(self):
+        sim = Simulator(seed=0)
+        assert sim.scheduler.tie_break is None
+
+    def test_default_digest_unchanged_by_detector_availability(self):
+        # Importing the module and running a perturbed pass must leave
+        # subsequent default runs bit-identical.
+        scenario = _scenario()
+        before = result_digest(run_incast(scenario))
+        run_incast(scenario, RunOptions(tie_break_seed=1))
+        after = result_digest(run_incast(scenario))
+        assert before == after
+
+    def test_uninstall_restores_fifo(self):
+        sim = Simulator(seed=0)
+        detector = install_tie_break(sim, 1)
+        assert sim.scheduler.tie_break is not None
+        detector.uninstall()
+        assert sim.scheduler.tie_break is None
+
+
+class TestTieBreakScheduler:
+    def test_normalization_without_shuffle(self):
+        # limit=0: no shuffle, but the canonical order (alpha before beta)
+        # replaces the FIFO scheduling order (beta first).
+        detector = _run_tick({"limit": 0}, schedule_order=("beta", "alpha"))
+        assert _CALLS == ["alpha", "beta"]
+        assert detector.multi_ticks == 1
+        assert detector.permuted_ticks == 0
+
+    def test_shuffle_is_guaranteed_non_identity(self):
+        # Two free-floating domains: any non-identity permutation is the
+        # swap, so the executed order must invert the canonical one.
+        detector = _run_tick({}, schedule_order=("alpha", "beta"))
+        assert _CALLS == ["beta", "alpha"]
+        assert detector.permuted_ticks == 1
+
+    def test_limit_gates_only_the_shuffle(self):
+        sim = Simulator(seed=7)
+        detector = install_tie_break(sim, 1, limit=1)
+        del _CALLS[:]
+        for t in (1_000, 2_000):
+            sim.schedule(t, _alpha)
+            sim.schedule(t, _beta)
+        sim.run()
+        # First tick shuffled (inverted), second normalized-canonical only.
+        assert _CALLS == ["beta", "alpha", "alpha", "beta"]
+        assert detector.multi_ticks == 2
+        assert detector.permuted_ticks == 1
+
+    def test_capture_records_the_requested_tick(self):
+        sim = Simulator(seed=7)
+        rng = sim.rng.stream("tiebreak:1")
+        detector = TieBreakScheduler(sim.scheduler, rng, capture_at=0)
+        sim.schedule(1_000, _alpha)
+        sim.schedule(1_000, _beta)
+        sim.run()
+        record = detector.captured
+        assert record is not None
+        assert record.index == 0
+        assert record.time_ps == 1_000
+        assert set(record.original) == {"_alpha", "_beta"}
+        assert record.permuted == tuple(reversed(record.original))
+        assert record.swapped == (record.original[0], record.permuted[0])
+
+    def test_handler_qualname_falls_back_to_type_name(self):
+        class Opaque:
+            def __call__(self) -> None:  # pragma: no cover - never run
+                pass
+
+        assert handler_qualname(_alpha) == "_alpha"
+        assert handler_qualname(Opaque()) == "Opaque"
+
+
+class TestTickRecord:
+    def test_swapped_finds_first_difference(self):
+        record = TickRecord(
+            index=0, time_ps=5,
+            original=("a", "b", "c"), permuted=("a", "c", "b"),
+        )
+        assert record.swapped == ("b", "c")
+
+
+class TestDetection:
+    def test_real_scheme_is_invariant(self):
+        checks = check_scenarios([_scenario()], orders=2)
+        assert len(checks) == 1
+        assert checks[0].invariant
+        assert checks[0].divergent_orders == []
+
+    def test_fixture_is_caught_and_bisected(self, racy_scheme):
+        scenario = _scenario(scheme=racy_scheme)
+        checks = check_scenarios([scenario], orders=2)
+        assert not checks[0].invariant
+        report = bisect_divergence(
+            scenario, checks[0].divergent_orders[0],
+            baseline_digest=checks[0].baseline,
+        )
+        assert report.limit >= 1
+        record = report.record
+        assert record is not None
+        # The racy claim happens at t=1000 ps and swaps the two claimants.
+        assert record.time_ps == 1_000
+        assert any("claim" in name for name in record.original)
+        assert record.original != record.permuted
+        rendered = report.render()
+        assert "swapped pair" in rendered
+        assert "--order" in rendered and "--limit" in rendered
+
+    def test_bisect_refuses_invariant_scenarios(self):
+        with pytest.raises(ExperimentError):
+            bisect_divergence(_scenario(), 1)
+
+    def test_orders_must_be_positive(self):
+        with pytest.raises(ExperimentError):
+            check_scenarios([_scenario()], orders=0)
