@@ -19,14 +19,19 @@ Commands:
   (see ``python -m repro lint --help``); exits non-zero on violations;
 * ``races``    — the dynamic race detector: re-run scenarios under
   perturbed same-tick event orders, diff digests, and bisect divergences
-  (see ``python -m repro races --help``).
+  (see ``python -m repro races --help``);
+* ``service``  — the distributed sweep service: declare a grid, run a
+  journaled, killable, resumable work queue over it, join as a worker
+  process, or inspect progress
+  (see ``python -m repro service --help``).
 
 ``python -m repro --version`` prints the library version.
 
 The simulation-execution flags are shared: :func:`common_parser` is the
 argparse *parent* parser every sweep-running subcommand (``quickstart``,
 ``figures``, ``faults``) builds on, so ``--workers`` / ``--no-cache`` /
-``--cache-dir`` / ``--run-timeout`` / ``--sanitize`` / ``--seed`` and the
+``--cache-dir`` / ``--run-timeout`` / ``--backend`` / ``--sanitize`` /
+``--seed`` and the
 telemetry flags (``--telemetry`` / ``--telemetry-dir`` /
 ``--sample-interval``) are spelled and documented identically everywhere.
 """
@@ -66,6 +71,12 @@ def common_parser() -> argparse.ArgumentParser:
     execution.add_argument(
         "--run-timeout", type=float, default=None, metavar="S",
         help="per-run wall-clock deadline in seconds (overruns are quarantined)",
+    )
+    execution.add_argument(
+        "--backend", choices=("pool", "queue"), default="pool",
+        help="how runs execute: 'pool' = in-process worker pool (default); "
+             "'queue' = the distributed work-queue service (journaled, "
+             "killable, resumable; see python -m repro service)",
     )
     execution.add_argument(
         "--sanitize", action="store_true",
@@ -110,6 +121,19 @@ def check_common_args(
         parser.error(
             f"--sample-interval must be positive, got {args.sample_interval}"
         )
+    if getattr(args, "backend", "pool") == "queue":
+        # The queue hands results between processes through the cache, so
+        # cacheless and cache-bypassing modes cannot ride it.
+        if args.no_cache:
+            parser.error("--backend queue requires the result cache "
+                         "(drop --no-cache)")
+        if args.sanitize:
+            parser.error("--sanitize bypasses the result cache and cannot "
+                         "run on --backend queue; use the pool backend")
+        if args.telemetry:
+            parser.error("--telemetry records per-run instrumentation that "
+                         "bypasses the result cache and cannot run on "
+                         "--backend queue; use the pool backend")
 
 
 def options_from_args(args: argparse.Namespace):
@@ -161,6 +185,7 @@ def _quickstart(args: argparse.Namespace) -> None:
         run_timeout_s=args.run_timeout,
         options=options_from_args(args),
         telemetry=telemetry_from_args(args),
+        backend=args.backend,
     )
     results = engine.run_incasts(
         [replace(scenario, scheme=scheme) for scheme in SCHEMES]
@@ -230,6 +255,10 @@ def main(argv: list[str] | None = None) -> None:
         from repro.analysis.races import main as races_main
 
         races_main(args)
+    elif command == "service":
+        from repro.experiments.service import main as service_main
+
+        service_main(args)
     elif command == "quickstart":
         parser = argparse.ArgumentParser(
             prog="python -m repro quickstart",
@@ -242,7 +271,7 @@ def main(argv: list[str] | None = None) -> None:
     else:
         print(f"unknown command {command!r}; "
               "try: figures, verdicts, quickstart, faults, bakeoff, "
-              "recovery, lint, races",
+              "recovery, lint, races, service",
               file=sys.stderr)
         raise SystemExit(2)
 

@@ -4,11 +4,22 @@
 * :mod:`repro.experiments.parallel` — the parallel execution engine:
   process-pool fan-out with deterministic merge and an on-disk result
   cache keyed by scenario hash.
+* :mod:`repro.experiments.grid` — declarative scenario grids: a
+  :class:`GridSpec` is a frozen, JSON-serializable product of axes that
+  materializes cells lazily, shards, and fingerprints; :class:`GridFold`
+  aggregates results streamingly in any completion order.
 * :mod:`repro.experiments.sweeps` — the paper's three parameter sweeps
-  (incast degree, incast size, long-haul latency) with repetitions.
+  (incast degree, incast size, long-haul latency) with repetitions, all
+  declared as grids.
+* :mod:`repro.experiments.service` — the distributed sweep service: a
+  SQLite-journaled work queue (coordinator + worker processes over a
+  socket protocol) that runs any grid killably and resumably;
+  :class:`QueueEngine` exposes it behind the engine interface
+  (``--backend queue``; ``python -m repro service``).
 * :mod:`repro.experiments.figures` — regenerate every paper figure as a
   text table (``python -m repro.experiments.figures``).
-* :mod:`repro.experiments.report` — plain-text table rendering.
+* :mod:`repro.experiments.report` — table rendering and the shared
+  CSV/JSON row exporters.
 """
 
 from repro.experiments.cascade import (
@@ -22,6 +33,13 @@ from repro.experiments.convergence import (
     ConvergenceResult,
     compare_convergence,
     measure_convergence,
+)
+from repro.experiments.grid import (
+    GridFold,
+    GridSpec,
+    RunSample,
+    SweepFold,
+    sweep_spec,
 )
 from repro.experiments.parallel import (
     ExecutionStats,
@@ -38,14 +56,20 @@ from repro.experiments.runner import (
     build_scenario,
     run_incast,
 )
+from repro.experiments.report import export_rows, render_table
+from repro.experiments.service import Coordinator, QueueEngine, WorkQueue
 from repro.experiments.verdicts import Scorecard, Verdict, evaluate as evaluate_claims
 from repro.experiments.sweeps import (
     SchemeSummary,
     SweepPoint,
     degree_sweep,
+    degree_sweep_spec,
     latency_sweep,
+    latency_sweep_spec,
     run_scheme_summary,
+    run_sweep_spec,
     size_sweep,
+    size_sweep_spec,
     sweep_digest,
 )
 
@@ -54,29 +78,43 @@ __all__ = [
     "CascadeResult",
     "CascadeScenario",
     "ConvergenceResult",
+    "Coordinator",
     "ExecutionStats",
     "ExperimentEngine",
+    "GridFold",
+    "GridSpec",
     "IncastResult",
     "IncastScenario",
+    "QueueEngine",
     "ResultCache",
+    "RunSample",
     "SCHEMES",
     "SchemeSummary",
     "Scorecard",
+    "SweepFold",
     "SweepPoint",
     "Verdict",
+    "WorkQueue",
     "build_scenario",
     "compare_cascade",
     "compare_convergence",
     "degree_sweep",
+    "degree_sweep_spec",
     "evaluate_claims",
+    "export_rows",
     "latency_sweep",
+    "latency_sweep_spec",
     "measure_convergence",
+    "render_table",
     "run_cascade",
     "run_incast",
     "run_incast_batch",
     "run_parallel",
     "run_scheme_summary",
+    "run_sweep_spec",
     "scenario_key",
     "size_sweep",
+    "size_sweep_spec",
     "sweep_digest",
+    "sweep_spec",
 ]

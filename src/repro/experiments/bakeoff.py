@@ -17,19 +17,18 @@ worker counts).
 from __future__ import annotations
 
 import argparse
-import csv
-import json
 import math
-from dataclasses import asdict, dataclass, replace
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
-from repro.config import InterDcConfig, QueueSpec, TransportConfig, small_interdc_config
+from repro.config import TransportConfig, small_interdc_config
 from repro.experiments.faultsweep import blackhole_rate_sweep
+from repro.experiments.grid import GridSpec, axis, scale_buffers, sweep_spec
 from repro.experiments.parallel import ExperimentEngine, ResultCache
-from repro.experiments.report import average_reductions, render_table
+from repro.experiments.report import average_reductions, export_rows, render_table
 from repro.experiments.runner import IncastScenario
-from repro.experiments.sweeps import SweepPoint, _sweep, sweep_digest
+from repro.experiments.sweeps import SweepPoint, run_sweep_spec, sweep_digest
 from repro.schemes import SCHEME_REGISTRY
 from repro.units import kilobytes, microseconds, milliseconds, seconds
 
@@ -64,30 +63,42 @@ def bakeoff_base_scenario(
     )
 
 
-def scale_buffers(interdc: InterDcConfig, factor: float) -> InterDcConfig:
-    """Scale every congestion-point buffer by ``factor``.
+def bakeoff_grid_spec(
+    base: IncastScenario | None = None,
+    degrees: Sequence[int] = BAKEOFF_DEGREES,
+    delays_ps: Sequence[int] = BAKEOFF_DELAYS_PS,
+    buffer_scales: Sequence[float] = BAKEOFF_BUFFER_SCALES,
+    schemes: Sequence[str] | None = None,
+    reps: int = 3,
+    seed0: int = 0,
+) -> GridSpec:
+    """The bake-off as a grid; schemes default to the whole registry.
 
-    Fabric switch queues and the backbone queue scale together — capacity
-    *and* ECN thresholds, so the marking profile keeps its shape and the
-    ``low <= high <= capacity`` validator stays satisfied.  Host queues
-    (effectively infinite) are left alone.
+    The point axis enumerates the degree × delay × buffer combinations
+    (the ``bakeoff_point`` applier turns each combination document into
+    the degree + backbone-delay + :func:`~repro.experiments.grid.
+    scale_buffers` transformation).
     """
-    if factor <= 0:
-        raise ValueError(f"buffer scale must be positive, got {factor}")
-
-    def scaled(spec: QueueSpec) -> QueueSpec:
-        return replace(
-            spec,
-            capacity_bytes=max(1, round(spec.capacity_bytes * factor)),
-            ecn_low_bytes=round(spec.ecn_low_bytes * factor),
-            ecn_high_bytes=round(spec.ecn_high_bytes * factor),
-        )
-
-    return replace(
-        interdc,
-        fabric=replace(interdc.fabric, switch_queue=scaled(interdc.fabric.switch_queue)),
-        backbone_queue=scaled(interdc.backbone_queue),
+    base = base or bakeoff_base_scenario()
+    names = tuple(schemes) if schemes is not None else SCHEME_REGISTRY.names()
+    values: list[dict[str, int | float]] = []
+    labels: list[str] = []
+    for degree in degrees:
+        for delay_ps in delays_ps:
+            for scale in buffer_scales:
+                values.append({
+                    "degree": int(degree),
+                    "delay_ps": int(delay_ps),
+                    "buffer_scale": float(scale),
+                })
+                labels.append(
+                    f"deg={degree} owd={delay_ps / 1e6:g}us buf={scale:g}x"
+                )
+    point = axis(
+        "point", "bakeoff_point", values, labels=labels,
+        xs=[float(i) for i in range(len(values))],
     )
+    return sweep_spec(base, point, names, reps, seed0)
 
 
 def bakeoff_grid(
@@ -104,24 +115,10 @@ def bakeoff_grid(
     seed0: int = 0,
 ) -> list[SweepPoint]:
     """Every scheme at every grid point; defaults to the whole registry."""
-    base = base or bakeoff_base_scenario()
-    names = tuple(schemes) if schemes is not None else SCHEME_REGISTRY.names()
-    points = []
-    for degree in degrees:
-        for delay_ps in delays_ps:
-            for scale in buffer_scales:
-                label = (
-                    f"deg={degree} owd={delay_ps / 1e6:g}us buf={scale:g}x"
-                )
-                scenario = replace(
-                    base,
-                    degree=degree,
-                    interdc=scale_buffers(
-                        base.interdc.with_backbone_delay(delay_ps), scale
-                    ),
-                )
-                points.append((float(len(points)), label, scenario))
-    return _sweep(base, points, names, reps, engine, workers, cache, seed0)
+    spec = bakeoff_grid_spec(
+        base, degrees, delays_ps, buffer_scales, schemes, reps, seed0
+    )
+    return run_sweep_spec(spec, engine=engine, workers=workers, cache=cache)
 
 
 def fault_sensitivity(
@@ -254,27 +251,7 @@ def export_bakeoff(
     """Write the ranked summary as CSV + JSON (+ the raw grid CSV)."""
     from repro.metrics.export import write_sweep_csv
 
-    directory.mkdir(parents=True, exist_ok=True)
-    written = []
-
-    summary_csv = directory / "bakeoff_summary.csv"
-    fields = list(asdict(rows[0])) if rows else []
-    with summary_csv.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(fields)
-        for row in rows:
-            record = asdict(row)
-            writer.writerow(
-                ["" if record[f] is None else record[f] for f in fields]
-            )
-    written.append(summary_csv)
-
-    summary_json = directory / "bakeoff_summary.json"
-    summary_json.write_text(json.dumps(
-        {"digest": digest, "rows": [asdict(row) for row in rows]}, indent=2,
-    ) + "\n")
-    written.append(summary_json)
-
+    written = export_rows(rows, directory, "bakeoff_summary", digest=digest)
     written.append(write_sweep_csv(list(points), directory / "bakeoff_grid.csv"))
 
     figure_txt = directory / "bakeoff_figure.txt"
@@ -373,6 +350,7 @@ def main(argv: Sequence[str] | None = None) -> None:
         run_timeout_s=args.run_timeout,
         options=options_from_args(args),
         telemetry=telemetry_from_args(args),
+        backend=args.backend,
     )
 
     _run_bakeoff(

@@ -33,9 +33,10 @@ from typing import Sequence
 
 from repro.config import TransportConfig, small_interdc_config
 from repro.errors import ExperimentError
+from repro.experiments.grid import GridSpec, axis, scenario_to_doc, sweep_spec
 from repro.experiments.parallel import ExperimentEngine, ResultCache, RunFailure
 from repro.experiments.runner import IncastResult, IncastScenario
-from repro.experiments.sweeps import SweepPoint, _sweep, sweep_digest
+from repro.experiments.sweeps import SweepPoint, run_sweep_spec, sweep_digest
 from repro.faults.plan import CrashRun, FaultPlan, StallRun, blackhole_plan, proxy_crash_plan
 from repro.units import kilobytes, microseconds, milliseconds, seconds
 
@@ -74,6 +75,34 @@ def fault_base_scenario(
     )
 
 
+def blackhole_rate_sweep_spec(
+    base: IncastScenario | None = None,
+    rates: Sequence[float] = DEFAULT_BLACKHOLE_RATES,
+    schemes: Sequence[str] = FAULT_SCHEMES,
+    reps: int = 3,
+    *,
+    window_ps: int = milliseconds(50),
+    target: str = "backbone",
+    seed0: int = 0,
+) -> GridSpec:
+    """The blackhole sweep as a grid: the fault axis carries plan documents."""
+    base = base or fault_base_scenario()
+    plans = [
+        FaultPlan()
+        if rate <= 0
+        else blackhole_plan(
+            at_ps=0, duration_ps=window_ps, drop_fraction=rate, target=target
+        )
+        for rate in rates
+    ]
+    point = axis(
+        "point", "faults", [scenario_to_doc(plan) for plan in plans],
+        labels=[f"drop={rate * 100:g}%" for rate in rates],
+        xs=[float(rate) for rate in rates],
+    )
+    return sweep_spec(base, point, schemes, reps, seed0)
+
+
 def blackhole_rate_sweep(
     base: IncastScenario | None = None,
     rates: Sequence[float] = DEFAULT_BLACKHOLE_RATES,
@@ -88,20 +117,29 @@ def blackhole_rate_sweep(
     seed0: int = 0,
 ) -> list[SweepPoint]:
     """ICT vs silent-drop fraction on ``target`` for every scheme."""
+    spec = blackhole_rate_sweep_spec(
+        base, rates, schemes, reps, window_ps=window_ps, target=target,
+        seed0=seed0,
+    )
+    return run_sweep_spec(spec, engine=engine, workers=workers, cache=cache)
+
+
+def proxy_crash_sweep_spec(
+    base: IncastScenario | None = None,
+    crash_times_ps: Sequence[int] = DEFAULT_CRASH_TIMES_PS,
+    schemes: Sequence[str] = FAULT_SCHEMES,
+    reps: int = 3,
+    seed0: int = 0,
+) -> GridSpec:
+    """The proxy-crash sweep as a grid."""
     base = base or fault_base_scenario()
-    points = []
-    for rate in rates:
-        plan = (
-            FaultPlan()
-            if rate <= 0
-            else blackhole_plan(
-                at_ps=0, duration_ps=window_ps, drop_fraction=rate, target=target
-            )
-        )
-        points.append(
-            (float(rate), f"drop={rate * 100:g}%", replace(base, faults=plan))
-        )
-    return _sweep(base, points, schemes, reps, engine, workers, cache, seed0)
+    point = axis(
+        "point", "faults",
+        [scenario_to_doc(proxy_crash_plan(at_ps=t)) for t in crash_times_ps],
+        labels=[f"crash@{t / 1e6:g}us" for t in crash_times_ps],
+        xs=[t / 1e6 for t in crash_times_ps],
+    )
+    return sweep_spec(base, point, schemes, reps, seed0)
 
 
 def proxy_crash_sweep(
@@ -120,16 +158,8 @@ def proxy_crash_sweep(
     The crash targets the ``primary`` role, so the baseline (no proxy)
     records the event as skipped and serves as the unaffected control.
     """
-    base = base or fault_base_scenario()
-    points = [
-        (
-            t / 1e6,
-            f"crash@{t / 1e6:g}us",
-            replace(base, faults=proxy_crash_plan(at_ps=t)),
-        )
-        for t in crash_times_ps
-    ]
-    return _sweep(base, points, schemes, reps, engine, workers, cache, seed0)
+    spec = proxy_crash_sweep_spec(base, crash_times_ps, schemes, reps, seed0)
+    return run_sweep_spec(spec, engine=engine, workers=workers, cache=cache)
 
 
 def fault_plan_sweep(
@@ -148,8 +178,11 @@ def fault_plan_sweep(
     if not isinstance(plan, FaultPlan):
         raise ExperimentError(f"expected a FaultPlan, got {type(plan).__name__}")
     base = base or fault_base_scenario()
-    points = [(0.0, label, replace(base, faults=plan))]
-    return _sweep(base, points, schemes, reps, engine, workers, cache, seed0)
+    point = axis(
+        "point", "faults", [scenario_to_doc(plan)], labels=[label], xs=[0.0]
+    )
+    spec = sweep_spec(base, point, schemes, reps, seed0)
+    return run_sweep_spec(spec, engine=engine, workers=workers, cache=cache)
 
 
 # ---------------------------------------------------------------------------
@@ -252,6 +285,7 @@ def main(argv: Sequence[str] | None = None) -> None:
         run_timeout_s=args.run_timeout,
         options=options_from_args(args),
         telemetry=telemetry_from_args(args),
+        backend=args.backend,
     )
 
     if args.smoke:

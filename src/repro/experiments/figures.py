@@ -15,6 +15,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Sequence
 
 from repro.config import TransportConfig
+from repro.errors import ExperimentError
 from repro.experiments.parallel import (
     DEFAULT_CACHE_DIR,
     ExperimentEngine,
@@ -174,13 +175,32 @@ def build_engine(
     *,
     options: "RunOptions | None" = None,
     telemetry: "SweepTelemetry | None" = None,
+    backend: str = "pool",
 ) -> ExperimentEngine:
-    """The engine the figure drivers share, honoring the CLI cache flags."""
+    """The engine the figure drivers share, honoring the CLI cache flags.
+
+    ``backend`` picks how batches execute: ``"pool"`` is the in-process
+    worker pool; ``"queue"`` routes every batch through the distributed
+    work-queue service (:class:`~repro.experiments.service.QueueEngine`
+    — journaled, killable, resumable), which requires the cache.
+    """
     cache = None if no_cache else ResultCache(cache_dir or DEFAULT_CACHE_DIR)
     if sanitize:
         from repro.telemetry import RunOptions
 
         options = replace(options or RunOptions(), sanitize=True)
+    if backend == "queue":
+        from repro.experiments.service import QueueEngine
+
+        return QueueEngine(
+            workers=workers,
+            cache=cache,
+            run_timeout_s=run_timeout_s,
+            options=options,
+            telemetry=telemetry,
+        )
+    if backend != "pool":
+        raise ExperimentError(f"unknown engine backend {backend!r}")
     return ExperimentEngine(
         workers=workers,
         cache=cache,
@@ -223,7 +243,8 @@ def main(argv: Sequence[str] | None = None) -> None:
     engine = build_engine(args.workers, args.no_cache, args.cache_dir,
                           run_timeout_s=args.run_timeout,
                           options=options_from_args(args),
-                          telemetry=telemetry_from_args(args))
+                          telemetry=telemetry_from_args(args),
+                          backend=args.backend)
 
     if "fig2l" in wanted:
         _print_sweep("Figure 2 (Left)",

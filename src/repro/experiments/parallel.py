@@ -51,9 +51,13 @@ from dataclasses import dataclass, is_dataclass
 from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
-from repro._compat import _deprecated
 from repro.errors import ExperimentError
-from repro.experiments.runner import IncastResult, IncastScenario, run_incast
+from repro.experiments.runner import (
+    _SANITIZE_REMOVED,
+    IncastResult,
+    IncastScenario,
+    run_incast,
+)
 from repro.telemetry.options import RunOptions
 from repro.telemetry.sweep import SweepTelemetry
 
@@ -549,7 +553,7 @@ class ExperimentEngine:
         run_timeout_s: float | None = None,
         max_attempts: int = 2,
         retry_backoff_s: float = 0.05,
-        sanitize: bool | None = None,
+        sanitize: Any = _SANITIZE_REMOVED,
         options: RunOptions | None = None,
         telemetry: SweepTelemetry | None = None,
     ) -> None:
@@ -570,15 +574,13 @@ class ExperimentEngine:
         #: custom instrumentation) skip it in both directions: a cached
         #: result proves nothing about invariants and carries no snapshot,
         #: and an instrumented result is not interchangeable with a plain
-        #: one.  The legacy ``sanitize=`` kwarg folds into ``options``.
+        #: one.
         self.options = options if options is not None else RunOptions()
-        if sanitize is not None:
-            _deprecated(
-                "ExperimentEngine(..., sanitize=...) is deprecated; pass "
+        if sanitize is not _SANITIZE_REMOVED:
+            raise TypeError(
+                "ExperimentEngine(..., sanitize=...) was removed; pass "
                 "options=RunOptions(sanitize=...) instead"
             )
-            if sanitize:
-                self.options = dataclasses.replace(self.options, sanitize=True)
         #: sweep-level telemetry sink (heartbeats + per-run records);
         #: None means no sweep accounting beyond ``stats``.
         self.telemetry = telemetry

@@ -12,8 +12,10 @@ scenario), so three recovery mechanisms are on the clock at once:
 * the transports recovering the packets lost in between (post-failure
   ICT inflation vs the same scheme's no-fault control row).
 
-The grid is cases × schemes × reps, flattened through the
-:class:`~repro.experiments.parallel.ExperimentEngine` in one batch:
+The grid is a cases × schemes × reps :class:`~repro.experiments.grid.GridSpec`
+(:func:`recovery_spec`), run through the
+:class:`~repro.experiments.parallel.ExperimentEngine` in one batch and
+folded by the streaming :class:`RecoveryFold`:
 
 * a **control** case (no faults) — the inflation denominator, and the CI
   guard that an idle control plane never reroutes;
@@ -36,7 +38,6 @@ from __future__ import annotations
 
 import argparse
 import hashlib
-import json
 from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Sequence
@@ -45,8 +46,16 @@ from repro.control import ControlConfig
 from repro.control.pool import FailoverConfig
 from repro.errors import ExperimentError
 from repro.experiments.faultsweep import fault_base_scenario
+from repro.experiments.grid import (
+    GridFold,
+    GridSpec,
+    RunSample,
+    axis,
+    scenario_to_doc,
+    sweep_spec,
+)
 from repro.experiments.parallel import ExperimentEngine
-from repro.experiments.runner import IncastResult, IncastScenario
+from repro.experiments.runner import IncastScenario
 from repro.faults.plan import FaultPlan, LinkDown, proxy_crash_plan
 from repro.schemes import SCHEME_REGISTRY
 from repro.units import microseconds, to_microseconds
@@ -131,39 +140,105 @@ class RecoveryRow:
     failures: int
 
 
-def _fold(case: RecoveryCase, scheme: str, entries, horizon_ps: int) -> RecoveryRow:
-    ok = [r for r in entries if isinstance(r, IncastResult)]
-    failures = len(entries) - len(ok)
+def recovery_spec(
+    base: IncastScenario,
+    cases: Sequence[RecoveryCase],
+    schemes: Sequence[str],
+    reps: int = 3,
+    seed0: int = 0,
+) -> GridSpec:
+    """The recovery grid declared: cases × schemes × reps over ``base``.
+
+    Each case-axis value is a JSON document carrying the case metadata
+    (kind, label, fault onset) next to the canonical fault-plan document;
+    only the plan touches the scenario (the ``recovery_case`` applier),
+    the rest rides along for the fold.
+    """
+    point = axis(
+        "case", "recovery_case",
+        [
+            {
+                "kind": c.kind,
+                "label": c.label,
+                "fault_at_ps": c.fault_at_ps,
+                "faults": scenario_to_doc(c.plan),
+            }
+            for c in cases
+        ],
+        labels=[c.label for c in cases],
+    )
+    return sweep_spec(base, point, schemes, reps, seed0)
+
+
+def _fold_samples(
+    case: dict, scheme: str, samples: Sequence[RunSample], horizon_ps: int
+) -> RecoveryRow:
+    ok = [s for s in samples if s.ok]
+    failures = len(samples) - len(ok)
 
     def mean(values) -> float | None:
         collected = list(values)
         return sum(collected) / len(collected) if collected else None
 
-    ict = mean(r.ict_ps for r in ok)
+    fault_at_ps = int(case["fault_at_ps"])
+    ict = mean(s.ict_ps for s in ok)
     detect = mean(
-        r.detected_at_ps - case.fault_at_ps
-        for r in ok if r.detected_at_ps is not None
+        s.detected_at_ps - fault_at_ps
+        for s in ok if s.detected_at_ps is not None
     )
     converge = mean(
-        r.converged_at_ps - case.fault_at_ps
-        for r in ok if r.converged_at_ps is not None
+        s.converged_at_ps - fault_at_ps
+        for s in ok if s.converged_at_ps is not None
     )
     return RecoveryRow(
-        kind=case.kind,
-        label=case.label,
+        kind=case["kind"],
+        label=case["label"],
         scheme=scheme,
-        fault_at_ps=case.fault_at_ps,
+        fault_at_ps=fault_at_ps,
         ict_ps=ict if ict is not None else float(horizon_ps),
         inflation=None,
         detect_lag_ps=detect,
         converge_lag_ps=converge,
-        reroutes=mean(r.reroutes for r in ok) or 0.0,
-        failovers=mean(r.failovers for r in ok) or 0.0,
-        failbacks=mean(r.failbacks for r in ok) or 0.0,
-        degrades=mean(r.proxy_degrades for r in ok) or 0.0,
-        completed=failures == 0 and bool(ok) and all(r.completed for r in ok),
+        reroutes=mean(s.reroutes for s in ok) or 0.0,
+        failovers=mean(s.failovers for s in ok) or 0.0,
+        failbacks=mean(s.failbacks for s in ok) or 0.0,
+        degrades=mean(s.degrades for s in ok) or 0.0,
+        completed=failures == 0 and bool(ok) and all(s.completed for s in ok),
         failures=failures,
     )
+
+
+class RecoveryFold(GridFold):
+    """Streaming fold producing the per-(case, scheme) recovery rows.
+
+    Groups close in any order; :meth:`finish` walks the grid case-major so
+    each scheme's control row (the first case) resolves the inflation
+    denominator for its fault rows, exactly as the cursor fold did.
+    """
+
+    def _finalize_group(self, point_i: int, scheme_i: int,
+                        samples: list[RunSample]) -> RecoveryRow:
+        return _fold_samples(
+            self.points[point_i].value,
+            self.schemes[scheme_i],
+            samples,
+            self.spec.base.horizon_ps,
+        )
+
+    def finish(self) -> list[RecoveryRow]:
+        rows: list[RecoveryRow] = []
+        control_ict: dict[str, float] = {}
+        for point_i in range(len(self.points)):
+            for scheme_i, scheme in enumerate(self.schemes):
+                row = self._group(point_i, scheme_i)
+                if row.kind == "control":
+                    control_ict[scheme] = row.ict_ps
+                else:
+                    denominator = control_ict.get(scheme)
+                    if denominator:
+                        row.inflation = row.ict_ps / denominator
+                rows.append(row)
+        return rows
 
 
 def recovery_sweep(
@@ -190,31 +265,14 @@ def recovery_sweep(
     base = replace(base, control=control if control is not None else ControlConfig())
     engine = engine if engine is not None else ExperimentEngine(workers=1)
 
-    grid = [
-        replace(base, scheme=scheme, faults=case.plan, seed=seed0 + rep)
-        for case in cases
-        for scheme in schemes
-        for rep in range(reps)
-    ]
-    # Positional (quarantine-preserving) results keep the cursor slicing
-    # aligned with the grid for any worker count.
-    results = engine.run_incasts_detailed(grid)
-
-    rows: list[RecoveryRow] = []
-    control_ict: dict[str, float] = {}
-    cursor = 0
-    for case in cases:
-        for scheme in schemes:
-            row = _fold(case, scheme, results[cursor:cursor + reps], base.horizon_ps)
-            cursor += reps
-            if case.kind == "control":
-                control_ict[scheme] = row.ict_ps
-            else:
-                denominator = control_ict.get(scheme)
-                if denominator:
-                    row.inflation = row.ict_ps / denominator
-            rows.append(row)
-    return rows
+    spec = recovery_spec(base, cases, schemes, reps, seed0)
+    fold = RecoveryFold(spec)
+    results = engine.run_incasts_detailed(
+        [cell.scenario for cell in spec.expand()]
+    )
+    for index, entry in enumerate(results):
+        fold.add(index, entry)
+    return fold.finish()
 
 
 def recovery_digest(rows: Sequence[RecoveryRow]) -> str:
@@ -305,27 +363,17 @@ def recovery_table(rows: Sequence[RecoveryRow]) -> str:
 
 def export_recovery(rows: Sequence[RecoveryRow], directory: Path) -> list[Path]:
     """Write ``recovery.csv`` and ``recovery.json`` under ``directory``."""
-    directory.mkdir(parents=True, exist_ok=True)
+    from repro.experiments.report import export_rows
+
     fields = (
         "kind", "label", "scheme", "fault_at_ps", "ict_ps", "inflation",
         "detect_lag_ps", "converge_lag_ps", "reroutes", "failovers",
         "failbacks", "degrades", "completed", "failures",
     )
-    csv_path = directory / "recovery.csv"
-    lines = [",".join(fields)]
-    for r in rows:
-        lines.append(",".join(
-            "" if value is None else str(value)
-            for value in (getattr(r, name) for name in fields)
-        ))
-    csv_path.write_text("\n".join(lines) + "\n")
-    json_path = directory / "recovery.json"
-    json_path.write_text(json.dumps({
-        "schema": 1,
-        "digest": recovery_digest(rows),
-        "rows": [{name: getattr(r, name) for name in fields} for r in rows],
-    }, indent=2) + "\n")
-    return [csv_path, json_path]
+    return export_rows(
+        rows, directory, "recovery",
+        fields=fields, digest=recovery_digest(rows), schema=1,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -408,6 +456,7 @@ def main(argv: Sequence[str] | None = None) -> None:
         run_timeout_s=args.run_timeout,
         options=options_from_args(args),
         telemetry=telemetry_from_args(args),
+        backend=args.backend,
     )
 
     if args.smoke:

@@ -1,8 +1,21 @@
-"""Plain-text table rendering for sweep results and CDFs."""
+"""Reporting surface shared by every sweep driver.
+
+Two halves:
+
+* table rendering — :func:`render_table` (plain aligned text) and the
+  sweep-specific :func:`sweep_table`;
+* row export — :func:`export_rows`, the one CSV+JSON writer the drivers
+  (bake-off, recovery, …) build their ``export_*`` helpers on, so every
+  exported artifact shares one cell/None/quoting convention and one JSON
+  envelope (optional ``schema`` and ``digest`` keys plus ``rows``).
+"""
 
 from __future__ import annotations
 
-from typing import Sequence
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
 
 from repro.experiments.sweeps import SweepPoint
 from repro.units import format_duration
@@ -19,6 +32,66 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     lines = [fmt(headers), fmt(["-" * w for w in widths])]
     lines.extend(fmt(row) for row in rows)
     return "\n".join(lines)
+
+
+def _csv_cell(value: Any) -> str:
+    text = "" if value is None else str(value)
+    if any(ch in text for ch in ',"\n'):
+        text = '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def export_rows(
+    rows: Sequence[Any],
+    directory: str | Path,
+    stem: str,
+    *,
+    fields: Sequence[str] | None = None,
+    digest: str | None = None,
+    schema: int | None = None,
+) -> list[Path]:
+    """Write ``rows`` as ``<stem>.csv`` and ``<stem>.json`` in ``directory``.
+
+    ``rows`` are dataclass instances or mappings; ``fields`` selects and
+    orders the exported columns (default: every field of the first row).
+    ``None`` cells export as empty CSV cells and JSON ``null``.  The JSON
+    document is ``{"schema": ..., "digest": ..., "rows": [...]}`` with the
+    first two keys present only when given.  Returns the two paths (CSV
+    first).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    docs: list[dict[str, Any]] = []
+    for row in rows:
+        if dataclasses.is_dataclass(row) and not isinstance(row, type):
+            docs.append(dataclasses.asdict(row))
+        elif isinstance(row, Mapping):
+            docs.append(dict(row))
+        else:
+            raise TypeError(
+                f"export_rows wants dataclasses or mappings, got "
+                f"{type(row).__name__}"
+            )
+    columns = list(fields) if fields is not None else (
+        list(docs[0]) if docs else []
+    )
+
+    csv_path = directory / f"{stem}.csv"
+    lines = [",".join(_csv_cell(name) for name in columns)]
+    lines.extend(
+        ",".join(_csv_cell(doc[name]) for name in columns) for doc in docs
+    )
+    csv_path.write_text("\n".join(lines) + "\n")
+
+    document: dict[str, Any] = {}
+    if schema is not None:
+        document["schema"] = schema
+    if digest is not None:
+        document["digest"] = digest
+    document["rows"] = [{name: doc[name] for name in columns} for doc in docs]
+    json_path = directory / f"{stem}.json"
+    json_path.write_text(json.dumps(document, indent=2) + "\n")
+    return [csv_path, json_path]
 
 
 def sweep_table(points: list[SweepPoint], schemes: Sequence[str]) -> str:

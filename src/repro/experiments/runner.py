@@ -25,10 +25,9 @@ either completed or failed.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable
 
-from repro._compat import _deprecated
 from repro.analysis.sanitizer import Sanitizer
 from repro.config import InterDcConfig, TransportConfig, paper_interdc_config
 from repro.control import ControlConfig, Controller
@@ -54,6 +53,10 @@ SCHEMES = SCHEME_REGISTRY.names()
 
 #: Schemes whose forwarding uses switch trimming (the streamlined family).
 _TRIMMING_SCHEMES = SCHEME_REGISTRY.trimming_names()
+
+#: Sentinel distinguishing "not passed" from any real value for the removed
+#: ``sanitize=`` keyword, so the removal error names the replacement.
+_SANITIZE_REMOVED = object()
 
 
 @dataclass(frozen=True)
@@ -204,7 +207,7 @@ def run_incast(
     scenario: IncastScenario,
     options: RunOptions | None = None,
     *,
-    sanitize: bool | None = None,
+    sanitize: object = _SANITIZE_REMOVED,
 ) -> IncastResult:
     """Execute ``scenario`` and return its measurements.
 
@@ -221,16 +224,14 @@ def run_incast(
       ``IncastResult.telemetry`` without perturbing simulation results.
     * ``options.tracer`` streams structured trace records.
 
-    The legacy ``sanitize=`` keyword still works but emits a
-    ``DeprecationWarning``; pass ``options=RunOptions(sanitize=True)``.
+    The pre-RunOptions ``sanitize=`` keyword was removed after its
+    deprecation cycle; passing it raises :class:`TypeError`.
     """
-    if sanitize is not None:
-        _deprecated(
-            "run_incast(..., sanitize=...) is deprecated; pass "
+    if sanitize is not _SANITIZE_REMOVED:
+        raise TypeError(
+            "run_incast(..., sanitize=...) was removed; pass "
             "options=RunOptions(sanitize=...) instead"
         )
-        options = replace(options if options is not None else RunOptions(),
-                          sanitize=sanitize)
     if options is None:
         options = RunOptions()
     spec = SCHEME_REGISTRY.get(scenario.scheme)

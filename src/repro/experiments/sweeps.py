@@ -4,20 +4,28 @@ Each sweep point runs every scheme ``reps`` times with distinct seeds and
 summarizes incast completion time as average / minimum / maximum — exactly
 what Figures 2 and 3 plot — plus the reduction relative to the baseline.
 
-All simulations of a sweep are independent seeded runs, so the whole
-(point x scheme x rep) grid is flattened and handed to the parallel
-execution engine (:mod:`repro.experiments.parallel`) in one batch; the
-engine's deterministic input-order merge means a sweep's summaries are
-bit-identical for any worker count or cache state.
+Every sweep is declared as a :class:`~repro.experiments.grid.GridSpec` —
+a (point × scheme × rep) product of axes over a base scenario — and run
+by :func:`run_sweep_spec`: expand the spec in index order, hand the whole
+batch to the parallel execution engine (:mod:`repro.experiments.parallel`),
+and fold the positional results through the order-independent streaming
+:class:`~repro.experiments.grid.SweepFold`.  The engine's deterministic
+input-order merge plus the fold's order-independence mean a sweep's
+summaries are bit-identical for any worker count, cache state, or
+execution backend (in-process pool or the distributed work queue).
+
+The keyword entry points (:func:`degree_sweep`, :func:`size_sweep`,
+:func:`latency_sweep`) are thin shims over their ``*_spec`` builders.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, replace
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from repro.errors import ExperimentError
+from repro.experiments.grid import GridSpec, RunSample, SweepFold, axis, sweep_spec
 from repro.experiments.parallel import ExperimentEngine, ResultCache, RunFailure
 from repro.experiments.runner import IncastResult, IncastScenario
 from repro.metrics.summary import SummaryStat, empty_summary, summarize
@@ -72,16 +80,19 @@ def _resolve_engine(
     return ExperimentEngine(workers=workers, cache=cache)
 
 
-def _summarize_scheme(
-    scheme: str, entries: Sequence[IncastResult | RunFailure]
+def summarize_samples(
+    scheme: str, samples: Sequence[RunSample]
 ) -> SchemeSummary:
     """Fold one scheme's repetitions into the stats the figures plot.
 
-    Quarantined repetitions (:class:`RunFailure`) are counted, excluded
-    from the averages, and force ``all_completed`` False.
+    Operates on the reduced per-run :class:`RunSample` scalars so a
+    streaming aggregator (the distributed coordinator) can discard full
+    results immediately; quarantined repetitions (``ok=False``) are
+    counted, excluded from the averages, and force ``all_completed``
+    False.
     """
-    ok = [r for r in entries if isinstance(r, IncastResult)]
-    failures = len(entries) - len(ok)
+    ok = [s for s in samples if s.ok]
+    failures = len(samples) - len(ok)
     if not ok:
         return SchemeSummary(
             scheme=scheme,
@@ -97,14 +108,23 @@ def _summarize_scheme(
     reps = len(ok)
     return SchemeSummary(
         scheme=scheme,
-        ict=summarize([r.ict_ps for r in ok]),
+        ict=summarize([s.ict_ps for s in ok]),
         reduction_vs_baseline=None,
-        retransmissions=sum(r.retransmissions for r in ok) / reps,
-        timeouts=sum(r.timeouts for r in ok) / reps,
-        trims=sum(r.counters.packets_trimmed for r in ok) / reps,
-        drops=sum(r.counters.packets_dropped for r in ok) / reps,
-        all_completed=failures == 0 and all(r.completed for r in ok),
+        retransmissions=sum(s.retransmissions for s in ok) / reps,
+        timeouts=sum(s.timeouts for s in ok) / reps,
+        trims=sum(s.trims for s in ok) / reps,
+        drops=sum(s.drops for s in ok) / reps,
+        all_completed=failures == 0 and all(s.completed for s in ok),
         failures=failures,
+    )
+
+
+def _summarize_scheme(
+    scheme: str, entries: Sequence[IncastResult | RunFailure]
+) -> SchemeSummary:
+    """:func:`summarize_samples` over full results (in-process callers)."""
+    return summarize_samples(
+        scheme, [RunSample.from_result(entry) for entry in entries]
     )
 
 
@@ -127,49 +147,29 @@ def run_scheme_summary(
     return _summarize_scheme(scenario.scheme, results), results
 
 
-def _sweep(
-    base: IncastScenario,
-    points: Iterable[tuple[float, str, IncastScenario]],
-    schemes: Sequence[str],
-    reps: int,
+def run_sweep_spec(
+    spec: GridSpec,
+    *,
     engine: ExperimentEngine | None = None,
     workers: int | None = 1,
     cache: ResultCache | None = None,
-    seed0: int = 0,
 ) -> list[SweepPoint]:
-    if reps < 1:
-        raise ExperimentError("reps must be at least 1")
+    """Run a declared (point × scheme × rep) grid and fold it.
+
+    The whole grid goes to the engine as one batch (maximum parallelism);
+    the engine's positional, quarantine-preserving results feed the
+    order-independent :class:`~repro.experiments.grid.SweepFold`, so the
+    summaries are identical whether cells ran in-process, on N pool
+    workers, or through the distributed queue backend.
+    """
     engine = _resolve_engine(engine, workers, cache)
-    points = list(points)
-
-    # Flatten the whole grid into one batch so the pool sees maximum
-    # parallelism, then slice results back in the same deterministic order.
-    grid = [
-        replace(scenario, scheme=scheme, seed=seed0 + rep)
-        for _, _, scenario in points
-        for scheme in schemes
-        for rep in range(reps)
-    ]
-    # Detailed results keep failures positional, so the cursor arithmetic
-    # below still slices the grid correctly when some runs were quarantined.
-    results = engine.run_incasts_detailed(grid)
-
-    sweep: list[SweepPoint] = []
-    cursor = 0
-    for x, label, _ in points:
-        summaries: dict[str, SchemeSummary] = {}
-        for scheme in schemes:
-            summaries[scheme] = _summarize_scheme(
-                scheme, results[cursor : cursor + reps]
-            )
-            cursor += reps
-        baseline = summaries.get("baseline")
-        if baseline is not None:
-            for scheme, summary in summaries.items():
-                if scheme != "baseline" and summary.ict.count and baseline.ict.count:
-                    summary.reduction_vs_baseline = summary.ict.reduction_vs(baseline.ict)
-        sweep.append(SweepPoint(x=x, label=label, schemes=summaries))
-    return sweep
+    fold = SweepFold(spec)
+    results = engine.run_incasts_detailed(
+        [cell.scenario for cell in spec.expand()]
+    )
+    for index, entry in enumerate(results):
+        fold.add(index, entry)
+    return fold.finish()
 
 
 def sweep_digest(points: Sequence[SweepPoint]) -> str:
@@ -193,6 +193,58 @@ def sweep_digest(points: Sequence[SweepPoint]) -> str:
     return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 
 
+# ---------------------------------------------------------------------------
+# The stock sweeps, declared as grids
+# ---------------------------------------------------------------------------
+
+def degree_sweep_spec(
+    base: IncastScenario,
+    degrees: Sequence[int],
+    schemes: Sequence[str] = ("baseline", "naive", "streamlined"),
+    reps: int = 5,
+    seed0: int = 0,
+) -> GridSpec:
+    """Figure 2 (Left) as a grid: fixed total size, varying incast degree."""
+    point = axis(
+        "point", "degree", [int(d) for d in degrees],
+        labels=[f"degree={d}" for d in degrees],
+        xs=[float(d) for d in degrees],
+    )
+    return sweep_spec(base, point, schemes, reps, seed0)
+
+
+def size_sweep_spec(
+    base: IncastScenario,
+    sizes_bytes: Sequence[int],
+    schemes: Sequence[str] = ("baseline", "naive", "streamlined"),
+    reps: int = 5,
+    seed0: int = 0,
+) -> GridSpec:
+    """Figure 2 (Right) as a grid: fixed degree, varying total incast size."""
+    point = axis(
+        "point", "total_bytes", [int(s) for s in sizes_bytes],
+        labels=[f"size={s / 1e6:g}MB" for s in sizes_bytes],
+        xs=[float(s) for s in sizes_bytes],
+    )
+    return sweep_spec(base, point, schemes, reps, seed0)
+
+
+def latency_sweep_spec(
+    base: IncastScenario,
+    backbone_delays_ps: Sequence[int],
+    schemes: Sequence[str] = ("baseline", "naive", "streamlined"),
+    reps: int = 5,
+    seed0: int = 0,
+) -> GridSpec:
+    """Figure 3 as a grid: fixed degree and size, varying long-haul latency."""
+    point = axis(
+        "point", "backbone_delay_ps", [int(d) for d in backbone_delays_ps],
+        labels=[f"link={d / 1e6:g}us" for d in backbone_delays_ps],
+        xs=[float(d) for d in backbone_delays_ps],
+    )
+    return sweep_spec(base, point, schemes, reps, seed0)
+
+
 def degree_sweep(
     base: IncastScenario,
     degrees: Sequence[int],
@@ -205,10 +257,10 @@ def degree_sweep(
     seed0: int = 0,
 ) -> list[SweepPoint]:
     """Figure 2 (Left): fixed total size, varying incast degree."""
-    points = (
-        (float(d), f"degree={d}", replace(base, degree=d)) for d in degrees
+    return run_sweep_spec(
+        degree_sweep_spec(base, degrees, schemes, reps, seed0),
+        engine=engine, workers=workers, cache=cache,
     )
-    return _sweep(base, points, schemes, reps, engine, workers, cache, seed0)
 
 
 def size_sweep(
@@ -223,11 +275,10 @@ def size_sweep(
     seed0: int = 0,
 ) -> list[SweepPoint]:
     """Figure 2 (Right): fixed degree, varying total incast size."""
-    points = (
-        (float(s), f"size={s / 1e6:g}MB", replace(base, total_bytes=s))
-        for s in sizes_bytes
+    return run_sweep_spec(
+        size_sweep_spec(base, sizes_bytes, schemes, reps, seed0),
+        engine=engine, workers=workers, cache=cache,
     )
-    return _sweep(base, points, schemes, reps, engine, workers, cache, seed0)
 
 
 def latency_sweep(
@@ -242,12 +293,7 @@ def latency_sweep(
     seed0: int = 0,
 ) -> list[SweepPoint]:
     """Figure 3: fixed degree and size, varying long-haul link latency."""
-    points = (
-        (
-            float(d),
-            f"link={d / 1e6:g}us",
-            replace(base, interdc=base.interdc.with_backbone_delay(d)),
-        )
-        for d in backbone_delays_ps
+    return run_sweep_spec(
+        latency_sweep_spec(base, backbone_delays_ps, schemes, reps, seed0),
+        engine=engine, workers=workers, cache=cache,
     )
-    return _sweep(base, points, schemes, reps, engine, workers, cache, seed0)

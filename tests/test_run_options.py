@@ -1,4 +1,4 @@
-"""RunOptions bundle, the legacy ``sanitize=`` shim, and the shared CLI."""
+"""RunOptions bundle, the removed ``sanitize=`` kwarg, and the shared CLI."""
 
 import dataclasses
 import warnings
@@ -47,18 +47,15 @@ class TestRunOptions:
             result = run_incast(_scenario(), options=RunOptions(sanitize=True))
         assert result.conservation is not None
 
-    def test_legacy_sanitize_kwarg_warns_and_still_works(self):
-        with pytest.warns(DeprecationWarning, match="RunOptions"):
-            result = run_incast(_scenario(), sanitize=True)
-        assert result.conservation is not None
+    def test_removed_sanitize_kwarg_raises(self):
+        with pytest.raises(TypeError, match="RunOptions"):
+            run_incast(_scenario(), sanitize=True)
 
-    def test_legacy_kwarg_folds_into_explicit_options(self):
-        with pytest.warns(DeprecationWarning):
-            result = run_incast(
+    def test_removed_kwarg_raises_even_with_explicit_options(self):
+        with pytest.raises(TypeError, match="RunOptions"):
+            run_incast(
                 _scenario(), options=RunOptions(telemetry=True), sanitize=True
             )
-        assert result.conservation is not None
-        assert result.telemetry is not None
 
     def test_tracer_option_reaches_the_simulator(self):
         from repro.faults.plan import blackhole_plan
@@ -81,11 +78,11 @@ class TestEngineOptions:
         [result] = engine.run_incasts([_scenario()])
         assert result.telemetry is not None
 
-    def test_legacy_engine_sanitize_kwarg_warns_and_folds(self):
-        with pytest.warns(DeprecationWarning, match="RunOptions"):
-            engine = ExperimentEngine(workers=1, sanitize=True)
+    def test_removed_engine_sanitize_kwarg_raises(self):
+        with pytest.raises(TypeError, match="RunOptions"):
+            ExperimentEngine(workers=1, sanitize=True)
+        engine = ExperimentEngine(workers=1, options=RunOptions(sanitize=True))
         assert engine.sanitize is True
-        assert engine.options.sanitize is True
         with pytest.raises(AttributeError):
             engine.sanitize = False  # read-only property over options
 

@@ -159,16 +159,11 @@ class TestDeprecationHelper:
             _deprecated("site message", stacklevel=2)
         assert len(caught) == 2
 
-    def test_legacy_run_incast_kwarg_warns_once_across_repeats(self):
+    def test_removed_run_incast_kwarg_raises_every_time(self):
         scenario = _scenario()
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            for _ in range(3):
+        for _ in range(3):
+            with pytest.raises(TypeError, match="RunOptions"):
                 run_incast(scenario, sanitize=False)
-        deprecations = [w for w in caught
-                        if issubclass(w.category, DeprecationWarning)]
-        assert len(deprecations) == 1
-        assert "RunOptions" in str(deprecations[0].message)
 
 
 class TestBuildScenario:
