@@ -22,7 +22,13 @@ Quick start::
 
 Schemes are data: every harness dispatches through
 :data:`repro.schemes.SCHEME_REGISTRY`, and third parties add their own
-with :func:`repro.schemes.register_scheme`.
+with :func:`repro.schemes.register_scheme`.  Workloads follow the same
+pattern: :data:`repro.workloads.registry.WORKLOAD_REGISTRY` maps names to
+:class:`~repro.workloads.registry.WorkloadSpec` entries,
+:func:`repro.build_workload` resolves them, and the open-loop engine
+(``python -m repro workload``) mixes tenant-capable specs into
+minutes-long production traffic with bounded-memory streaming metrics
+(:class:`repro.metrics.MetricsConfig`) and checkpoint/restore.
 """
 
 from repro.config import (
@@ -46,12 +52,20 @@ from repro.experiments.runner import (
     run_incast,
 )
 from repro.experiments.sweeps import degree_sweep, latency_sweep, size_sweep
+from repro.metrics.config import MetricsConfig
 from repro.net.network import Network
 from repro.schemes import (
     SCHEME_REGISTRY,
     SchemeRegistry,
     SchemeSpec,
     register_scheme,
+)
+from repro.workloads.registry import (
+    WORKLOAD_REGISTRY,
+    WorkloadRegistry,
+    WorkloadSpec,
+    build_workload,
+    register_workload,
 )
 from repro.sim.simulator import Simulator
 from repro.telemetry import (
@@ -63,7 +77,7 @@ from repro.telemetry import (
 from repro.topology.interdc import build_interdc
 from repro.transport.connection import Connection
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Connection",
@@ -72,6 +86,7 @@ __all__ = [
     "IncastResult",
     "IncastScenario",
     "InterDcConfig",
+    "MetricsConfig",
     "Network",
     "QueueSpec",
     "ResultCache",
@@ -85,13 +100,18 @@ __all__ = [
     "TelemetryRecorder",
     "TelemetrySnapshot",
     "TransportConfig",
+    "WORKLOAD_REGISTRY",
+    "WorkloadRegistry",
+    "WorkloadSpec",
     "__version__",
     "build_interdc",
     "build_scenario",
+    "build_workload",
     "degree_sweep",
     "latency_sweep",
     "paper_interdc_config",
     "register_scheme",
+    "register_workload",
     "run_incast",
     "run_incast_batch",
     "size_sweep",

@@ -23,7 +23,12 @@ Commands:
 * ``service``  — the distributed sweep service: declare a grid, run a
   journaled, killable, resumable work queue over it, join as a worker
   process, or inspect progress
-  (see ``python -m repro service --help``).
+  (see ``python -m repro service --help``);
+* ``workload`` — the open-loop production-traffic engine: seeded tenant
+  arrivals, heavy-tailed incast sizes, a diurnal load curve, streaming
+  metric sketches, and checkpoint/restore; lands the per-scheme ICT SLO
+  attainment vs offered load figure
+  (see ``python -m repro workload --help``).
 
 ``python -m repro --version`` prints the library version.
 
@@ -88,6 +93,13 @@ def common_parser() -> argparse.ArgumentParser:
         help="base seed: repetition r of a sweep point runs with seed N+r "
              "(default 0)",
     )
+    execution.add_argument(
+        "--metrics", choices=("exact", "sketch"), default=None,
+        help="metric sink mode: 'exact' keeps full per-packet series "
+             "(reference); 'sketch' folds them into bounded-memory "
+             "reservoir/quantile sketches (default: exact, except the "
+             "open-loop workload engine which defaults to sketch)",
+    )
     telemetry = parser.add_argument_group("telemetry")
     telemetry.add_argument(
         "--telemetry", action="store_true",
@@ -138,12 +150,18 @@ def check_common_args(
 
 def options_from_args(args: argparse.Namespace):
     """Build the :class:`~repro.telemetry.RunOptions` the shared flags ask for."""
+    from repro.metrics.config import DEFAULT_METRICS, MetricsConfig
     from repro.telemetry import RunOptions
 
+    metrics = (
+        DEFAULT_METRICS if getattr(args, "metrics", None) is None
+        else MetricsConfig(mode=args.metrics)
+    )
     return RunOptions(
         sanitize=args.sanitize,
         telemetry=args.telemetry,
         sample_interval_ps=max(1, int(round(args.sample_interval * 1_000_000))),
+        metrics=metrics,
     )
 
 
@@ -206,7 +224,7 @@ def _quickstart(args: argparse.Namespace) -> None:
             if snap is None:
                 continue
             queue = snap.get("net.queue_bytes")
-            peak = queue.max_value() if queue is not None else 0.0
+            peak = queue.peak() if queue is not None else 0.0
             profile = snap.profile
             print(
                 f"[telemetry] {result.scenario.scheme}: "
@@ -259,6 +277,10 @@ def main(argv: list[str] | None = None) -> None:
         from repro.experiments.service import main as service_main
 
         service_main(args)
+    elif command == "workload":
+        from repro.experiments.workload import main as workload_main
+
+        workload_main(args)
     elif command == "quickstart":
         parser = argparse.ArgumentParser(
             prog="python -m repro quickstart",
@@ -271,7 +293,7 @@ def main(argv: list[str] | None = None) -> None:
     else:
         print(f"unknown command {command!r}; "
               "try: figures, verdicts, quickstart, faults, bakeoff, "
-              "recovery, lint, races, service",
+              "recovery, lint, races, service, workload",
               file=sys.stderr)
         raise SystemExit(2)
 

@@ -125,7 +125,7 @@ def measure_convergence(
     sim.run(until=scenario.horizon_ps)
 
     bottleneck = receiver.nic_rate_bps / 8  # bytes per second
-    goodput = cumulative.rate_per_second()
+    goodput = cumulative.to_timeseries().rate_per_second()
     result = ConvergenceResult(
         scenario=scenario,
         goodput=goodput,

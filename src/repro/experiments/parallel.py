@@ -52,6 +52,7 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
 from repro.errors import ExperimentError
+from repro.metrics.config import DEFAULT_METRICS
 from repro.experiments.runner import (
     _SANITIZE_REMOVED,
     IncastResult,
@@ -76,7 +77,11 @@ R = TypeVar("R")
 #: FailoverConfig gained failback_stabilization_ps (the proxy-failover
 #: manager now probes past the first migration, so cached pre-v6 results
 #: would disagree on events_executed).
-CACHE_SCHEMA_VERSION = 6
+#: v7: scenario keys fold in the run's MetricsConfig (exact vs sketch
+#: sinks change the recorded telemetry series), so sketch-mode and
+#: exact-mode runs never share cache entries; pre-v7 entries carry no
+#: metrics field and must not satisfy either mode.
+CACHE_SCHEMA_VERSION = 7
 
 #: Default on-disk cache location (override with $REPRO_CACHE_DIR).
 DEFAULT_CACHE_DIR = Path(os.environ.get("REPRO_CACHE_DIR", "results/.sweep-cache"))
@@ -111,7 +116,7 @@ def _canonical(value: Any) -> Any:
     raise Uncacheable(f"no stable representation for {type(value).__name__}")
 
 
-def scenario_key(scenario: Any) -> str:
+def scenario_key(scenario: Any, options: RunOptions | None = None) -> str:
     """Stable SHA-256 content hash of a config dataclass.
 
     Two scenarios that compare equal field-by-field hash identically across
@@ -124,12 +129,19 @@ def scenario_key(scenario: Any) -> str:
     the scheme *name* alone is not a stable identity once third parties can
     ``@register_scheme(..., replace=True)`` a different implementation
     under a previously used name.
+
+    The run's :class:`~repro.metrics.config.MetricsConfig` (taken from
+    ``options``, defaulting to exact mode) is folded in too: sketch-mode
+    telemetry is a different artifact from exact-mode telemetry, so the
+    two must never share a cache entry.
     """
     if not is_dataclass(scenario) or isinstance(scenario, type):
         raise Uncacheable(f"cache keys require a dataclass, got {type(scenario).__name__}")
+    metrics = options.metrics if options is not None else DEFAULT_METRICS
     document: dict[str, Any] = {
         "schema": CACHE_SCHEMA_VERSION,
         "scenario": _canonical(scenario),
+        "metrics": _canonical(metrics),
     }
     scheme = getattr(scenario, "scheme", None)
     if isinstance(scheme, str):
@@ -693,7 +705,7 @@ class ExperimentEngine:
         if self.cache is None or self.options.bypasses_cache:
             return None
         try:
-            key = scenario_key(scenario)
+            key = scenario_key(scenario, self.options)
         except Uncacheable:
             return None
         value = self.cache.get(key)
@@ -703,7 +715,7 @@ class ExperimentEngine:
         if self.cache is None or self.options.bypasses_cache:
             return
         try:
-            key = scenario_key(scenario)
+            key = scenario_key(scenario, self.options)
         except Uncacheable:
             return
         try:

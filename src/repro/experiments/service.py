@@ -68,6 +68,7 @@ from repro.experiments.parallel import (
     scenario_key,
 )
 from repro.experiments.runner import IncastResult
+from repro.metrics.config import DEFAULT_METRICS
 from repro.telemetry.options import RunOptions
 
 #: A lease not acked within this window is considered abandoned (the
@@ -856,6 +857,12 @@ class QueueEngine(ExperimentEngine):
             raise ExperimentError(
                 "the queue backend cannot run cache-bypassing options "
                 "(sanitize/telemetry/tracer); use the pool backend"
+            )
+        if self.options.metrics != DEFAULT_METRICS:
+            raise ExperimentError(
+                "the queue backend runs workers with default metrics; a "
+                "non-default MetricsConfig would key results it cannot "
+                "produce — use the pool backend"
             )
         self.host = host
         self.lease_ttl_s = lease_ttl_s

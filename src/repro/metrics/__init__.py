@@ -1,26 +1,54 @@
-"""Measurement utilities: empirical CDFs, summary statistics, run collectors."""
+"""Measurement utilities: empirical CDFs, summary statistics, streaming sketches.
+
+Storage is mode-selected by :class:`MetricsConfig`: ``"exact"`` keeps the
+reference per-sample lists, ``"sketch"`` bounds memory with reservoir /
+quantile sketches behind the same sink protocol (:mod:`repro.metrics.sink`).
+"""
 
 from repro.metrics.cdf import EmpiricalCdf
 from repro.metrics.collector import NetworkCounters, collect_network_counters
+from repro.metrics.config import DEFAULT_METRICS, MetricsConfig
 from repro.metrics.export import (
     write_cdf_csv,
+    write_distribution_csv,
     write_sweep_csv,
     write_sweep_json,
     write_timeseries_csv,
 )
+from repro.metrics.sink import (
+    DistributionDigest,
+    DistributionSink,
+    SeriesSink,
+    make_distribution_sink,
+    make_series_sink,
+    rank_hottest,
+)
+from repro.metrics.sketches import GKQuantileSketch, ReservoirSample, StreamingMoments
 from repro.metrics.summary import SummaryStat, jain_fairness, summarize
 from repro.metrics.timeseries import Sampler, TimeSeries
 
 __all__ = [
+    "DEFAULT_METRICS",
+    "DistributionDigest",
+    "DistributionSink",
     "EmpiricalCdf",
+    "GKQuantileSketch",
+    "MetricsConfig",
     "NetworkCounters",
+    "ReservoirSample",
     "Sampler",
+    "SeriesSink",
+    "StreamingMoments",
     "SummaryStat",
     "TimeSeries",
     "collect_network_counters",
     "jain_fairness",
+    "make_distribution_sink",
+    "make_series_sink",
+    "rank_hottest",
     "summarize",
     "write_cdf_csv",
+    "write_distribution_csv",
     "write_sweep_csv",
     "write_sweep_json",
     "write_timeseries_csv",

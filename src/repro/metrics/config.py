@@ -1,0 +1,65 @@
+"""Metrics-mode selection: exact reference lists vs bounded-memory sketches.
+
+Single-shot incast runs keep every sample — ``mode="exact"`` — because the
+paper's figures are built from full CDFs and the cache digests are defined
+over them.  Long-horizon open-loop runs (:mod:`repro.workloads.engine`)
+cannot: a minutes-long horizon observes millions of completions and the
+per-packet lists grow without bound.  ``mode="sketch"`` folds every
+distribution into a Greenwald–Khanna quantile sketch + reservoir sample +
+running moments, and every time series into a decimating fixed-budget
+buffer, holding RSS flat no matter the horizon.
+
+The config is frozen and travels inside :class:`~repro.telemetry.options.
+RunOptions`; it is folded into ``scenario_key`` so sketch-mode and
+exact-mode runs never share cache entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+MODE_EXACT = "exact"
+MODE_SKETCH = "sketch"
+_MODES = (MODE_EXACT, MODE_SKETCH)
+
+
+@dataclass(frozen=True)
+class MetricsConfig:
+    """How a run accumulates its measurements.
+
+    * ``mode`` — ``"exact"`` keeps full per-sample lists (the reference
+      implementation); ``"sketch"`` bounds memory with streaming sketches.
+    * ``quantile_epsilon`` — Greenwald–Khanna rank-error bound: a queried
+      quantile ``q`` is guaranteed to come from a sample whose true rank
+      is within ``epsilon * n`` of ``q * n``.
+    * ``reservoir_k`` — uniform reservoir size kept alongside the sketch
+      (exact small-n behaviour, seeded and deterministic).
+    * ``series_max_points`` — per-series point budget in sketch mode;
+      when full the series halves itself by dropping every other point
+      and doubling its stride.
+    """
+
+    mode: str = MODE_EXACT
+    quantile_epsilon: float = 0.01
+    reservoir_k: int = 512
+    series_max_points: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ConfigError(f"metrics mode must be one of {_MODES}, got {self.mode!r}")
+        if not 0.0 < self.quantile_epsilon < 0.5:
+            raise ConfigError("quantile_epsilon must be in (0, 0.5)")
+        if self.reservoir_k <= 0:
+            raise ConfigError("reservoir_k must be positive")
+        if self.series_max_points < 8:
+            raise ConfigError("series_max_points must be at least 8")
+
+    @property
+    def bounded(self) -> bool:
+        """True when this config guarantees bounded memory."""
+        return self.mode == MODE_SKETCH
+
+
+DEFAULT_METRICS = MetricsConfig()

@@ -1,0 +1,250 @@
+"""The metric sink protocol: one write path, two storage disciplines.
+
+Everything a run measures flows through two shapes of sink:
+
+* :class:`SeriesSink` — ``observe(time_ps, value)`` pairs on a cadence
+  (queue depth, goodput, cwnd).  :class:`ExactSeriesSink` keeps every
+  point; :class:`DecimatingSeriesSink` holds a fixed point budget by
+  halving (drop every other point, double the stride) when full.
+* :class:`DistributionSink` — unordered ``observe(value)`` samples (ICTs,
+  flow completion times).  :class:`ExactDistributionSink` keeps the list;
+  :class:`SketchDistributionSink` folds into moments + GK quantile
+  sketch + seeded reservoir.
+
+Both finalize into plain-data results — :class:`~repro.metrics.timeseries.
+TimeSeries` and :class:`DistributionDigest` — so downstream report code
+never branches on the mode.  Build sinks through :func:`make_series_sink`
+/ :func:`make_distribution_sink` with a :class:`~repro.metrics.config.
+MetricsConfig`; callers hold the protocol type only.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Protocol
+
+from repro.errors import ConfigError
+from repro.metrics.config import MODE_SKETCH, MetricsConfig
+from repro.metrics.sketches import GKQuantileSketch, ReservoirSample, StreamingMoments
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.metrics.timeseries import TimeSeries
+
+# Percentiles materialized into a DistributionDigest's table.  Chosen to
+# cover every percentile the report layer prints (p50/p90/p99/p99.9).
+DIGEST_PERCENTILES = (1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 99.9)
+
+
+class SeriesSink(Protocol):
+    """Write path for sampled (time, value) pairs."""
+
+    def observe(self, time_ps: int, value: float) -> None:
+        """Record one sample."""
+        ...
+
+    def __len__(self) -> int: ...
+
+    def to_timeseries(self) -> "TimeSeries":
+        """Materialize the retained points."""
+        ...
+
+
+class DistributionSink(Protocol):
+    """Write path for unordered samples of a distribution."""
+
+    def observe(self, value: float) -> None:
+        """Fold one sample in."""
+        ...
+
+    def finalize(self) -> "DistributionDigest":
+        """Summarize everything observed so far."""
+        ...
+
+
+@dataclass(frozen=True)
+class DistributionDigest:
+    """Mode-independent summary of one observed distribution.
+
+    ``percentiles`` maps percentile → value (keys from
+    :data:`DIGEST_PERCENTILES`); ``sample`` is a uniform subsample usable
+    for plotting (the full data in exact mode, the reservoir in sketch
+    mode).  Frozen and tuple-backed so digests hash and pickle stably.
+    """
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    percentiles: tuple[tuple[float, float], ...]
+    sample: tuple[float, ...]
+
+    def percentile(self, pct: float) -> float:
+        """Look up a percentile from the materialized table."""
+        for key, value in self.percentiles:
+            if math.isclose(key, pct):
+                return value
+        raise ConfigError(
+            f"percentile {pct} not materialized; available: "
+            f"{tuple(key for key, _ in self.percentiles)}"
+        )
+
+    @property
+    def empty(self) -> bool:
+        """True when nothing was observed."""
+        return self.count == 0
+
+
+EMPTY_DIGEST = DistributionDigest(
+    count=0, mean=0.0, stdev=0.0, minimum=0.0, maximum=0.0, percentiles=(), sample=()
+)
+
+
+class ExactSeriesSink:
+    """Reference series sink: keeps every point (the pre-sketch behaviour)."""
+
+    def __init__(self, name: str, interval_ps: int) -> None:
+        from repro.metrics.timeseries import TimeSeries
+
+        self._series = TimeSeries(name, interval_ps)
+
+    def observe(self, time_ps: int, value: float) -> None:
+        self._series.observe(time_ps, value)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def to_timeseries(self) -> "TimeSeries":
+        return self._series
+
+
+class DecimatingSeriesSink:
+    """Bounded series sink: at most ``max_points`` retained points.
+
+    When the buffer fills it drops every other point and doubles its
+    stride, so a horizon of any length costs O(max_points) memory while
+    keeping coverage of the whole run (resolution degrades, range does
+    not).
+    """
+
+    def __init__(self, name: str, interval_ps: int, max_points: int) -> None:
+        if max_points < 8:
+            raise ConfigError("max_points must be at least 8")
+        self.name = name
+        self.interval_ps = interval_ps
+        self.max_points = max_points
+        self.stride = 1
+        self._pending = 0
+        self._times: list[int] = []
+        self._values: list[float] = []
+
+    def observe(self, time_ps: int, value: float) -> None:
+        self._pending += 1
+        if self._pending < self.stride:
+            return
+        self._pending = 0
+        self._times.append(time_ps)
+        self._values.append(value)
+        if len(self._times) >= self.max_points:
+            self._times = self._times[::2]
+            self._values = self._values[::2]
+            self.stride *= 2
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def to_timeseries(self) -> "TimeSeries":
+        from repro.metrics.timeseries import TimeSeries
+
+        series = TimeSeries(self.name, self.interval_ps * self.stride)
+        series.times = list(self._times)
+        series.values = list(self._values)
+        return series
+
+
+class ExactDistributionSink:
+    """Reference distribution sink: keeps the full sample list."""
+
+    def __init__(self) -> None:
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self._values.append(value)
+
+    @property
+    def values(self) -> list[float]:
+        """Every observed value, in arrival order."""
+        return list(self._values)
+
+    def finalize(self) -> DistributionDigest:
+        if not self._values:
+            return EMPTY_DIGEST
+        ordered = sorted(self._values)
+        n = len(ordered)
+        moments = StreamingMoments()
+        for value in self._values:
+            moments.observe(value)
+        table = tuple(
+            (pct, ordered[min(n - 1, max(0, math.ceil(pct / 100.0 * n) - 1))])
+            for pct in DIGEST_PERCENTILES
+        )
+        return DistributionDigest(
+            count=n,
+            mean=moments.mean,
+            stdev=moments.stdev,
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            percentiles=table,
+            sample=tuple(self._values),
+        )
+
+
+class SketchDistributionSink:
+    """Bounded distribution sink: moments + GK quantiles + reservoir."""
+
+    def __init__(self, config: MetricsConfig, *, seed: int, name: str) -> None:
+        self.moments = StreamingMoments()
+        self.sketch = GKQuantileSketch(config.quantile_epsilon)
+        self.reservoir = ReservoirSample(config.reservoir_k, seed=seed, name=name)
+
+    def observe(self, value: float) -> None:
+        self.moments.observe(value)
+        self.sketch.observe(value)
+        self.reservoir.observe(value)
+
+    def finalize(self) -> DistributionDigest:
+        if self.moments.count == 0:
+            return EMPTY_DIGEST
+        table = tuple((pct, self.sketch.query(pct / 100.0)) for pct in DIGEST_PERCENTILES)
+        return DistributionDigest(
+            count=self.moments.count,
+            mean=self.moments.mean,
+            stdev=self.moments.stdev,
+            minimum=self.moments.minimum,
+            maximum=self.moments.maximum,
+            percentiles=table,
+            sample=tuple(self.reservoir.values),
+        )
+
+
+def make_series_sink(config: MetricsConfig, name: str, interval_ps: int) -> SeriesSink:
+    """Build the series sink ``config`` selects."""
+    if config.mode == MODE_SKETCH:
+        return DecimatingSeriesSink(name, interval_ps, config.series_max_points)
+    return ExactSeriesSink(name, interval_ps)
+
+
+def make_distribution_sink(
+    config: MetricsConfig, *, seed: int = 0, name: str = "distribution"
+) -> DistributionSink:
+    """Build the distribution sink ``config`` selects."""
+    if config.mode == MODE_SKETCH:
+        return SketchDistributionSink(config, seed=seed, name=name)
+    return ExactDistributionSink()
+
+
+def rank_hottest(per_key: Mapping[str, int], count: int) -> list[tuple[str, int]]:
+    """Top ``count`` (key, value) pairs by value, descending (ties by key)."""
+    ranked = sorted(per_key.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[:count]

@@ -1,0 +1,200 @@
+"""Streaming sketches: constant-memory summaries of unbounded streams.
+
+Three complementary structures back sketch-mode metrics:
+
+* :class:`StreamingMoments` — Welford's online algorithm for count, mean,
+  variance, min, max.  Exact (not approximate) and O(1) memory.
+* :class:`ReservoirSample` — Algorithm R uniform sample of ``k`` values,
+  driven by a named RNG substream so a given ``(seed, name)`` pair always
+  keeps the same sample regardless of host or process.
+* :class:`GKQuantileSketch` — Greenwald–Khanna ε-approximate quantiles:
+  any queried quantile comes from an observed value whose true rank is
+  within ``ε·n`` of the target rank, using O((1/ε)·log(ε·n)) space.
+
+All three are plain-data picklable, which checkpoint/restore relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.sim.rng import derive_stream
+
+
+@dataclass
+class StreamingMoments:
+    """Running count/mean/variance/extrema (Welford)."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Fold one value in."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (0 for fewer than two observations)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation."""
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "StreamingMoments") -> None:
+        """Fold another moments accumulator in (Chan's parallel update)."""
+        if other.count == 0:
+            return
+        if self.count == 0:
+            self.count = other.count
+            self.mean = other.mean
+            self._m2 = other._m2
+            self.minimum = other.minimum
+            self.maximum = other.maximum
+            return
+        total = self.count + other.count
+        delta = other.mean - self.mean
+        self._m2 += other._m2 + delta * delta * self.count * other.count / total
+        self.mean += delta * other.count / total
+        self.count = total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+
+class ReservoirSample:
+    """Uniform ``k``-sample of a stream (Algorithm R), deterministically seeded."""
+
+    def __init__(self, capacity: int, *, seed: int, name: str) -> None:
+        if capacity <= 0:
+            raise ConfigError("reservoir capacity must be positive")
+        self.capacity = capacity
+        self.seen = 0
+        self._rng = derive_stream(seed, f"reservoir:{name}")
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Fold one value in, keeping each seen value with probability k/n."""
+        self.seen += 1
+        if len(self._values) < self.capacity:
+            self._values.append(value)
+            return
+        slot = self._rng.randrange(self.seen)
+        if slot < self.capacity:
+            self._values[slot] = value
+
+    @property
+    def values(self) -> list[float]:
+        """The current sample (order is not meaningful)."""
+        return list(self._values)
+
+
+@dataclass
+class _GKTuple:
+    """One (value, g, delta) entry: g = rmin gap to predecessor, delta = rmax - rmin."""
+
+    value: float
+    g: int
+    delta: int
+
+
+@dataclass
+class GKQuantileSketch:
+    """Greenwald–Khanna ε-approximate quantile summary.
+
+    Invariant: for every entry, ``g + delta <= floor(2 * epsilon * n)``
+    (after compression), which bounds the rank uncertainty of any query
+    by ``epsilon * n``.
+    """
+
+    epsilon: float
+    count: int = 0
+    _entries: list[_GKTuple] = field(default_factory=list)
+    _since_compress: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.epsilon < 0.5:
+            raise ConfigError("epsilon must be in (0, 0.5)")
+
+    def observe(self, value: float) -> None:
+        """Fold one value in."""
+        entries = self._entries
+        # Find the insertion position: first entry with a larger value.
+        lo, hi = 0, len(entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if entries[mid].value <= value:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0 or lo == len(entries):
+            delta = 0  # new minimum or maximum is known exactly
+        else:
+            delta = max(0, int(2 * self.epsilon * self.count) - 1)
+        entries.insert(lo, _GKTuple(value, 1, delta))
+        self.count += 1
+        self._since_compress += 1
+        if self._since_compress >= max(1, int(1.0 / (2.0 * self.epsilon))):
+            self._compress()
+            self._since_compress = 0
+
+    def _compress(self) -> None:
+        entries = self._entries
+        if len(entries) < 3:
+            return
+        threshold = int(2 * self.epsilon * self.count)
+        out = [entries[0]]
+        for cur in entries[1:-1]:
+            prev = out[-1]
+            if prev is not entries[0] and prev.g + cur.g + cur.delta <= threshold:
+                # Merge prev into cur: cur absorbs prev's rank gap.
+                cur.g += prev.g
+                out[-1] = cur
+            else:
+                out.append(cur)
+        out.append(entries[-1])
+        self._entries = out
+
+    def query(self, quantile: float) -> float:
+        """A value whose true rank is within ``epsilon * n`` of ``quantile * n``."""
+        if not 0.0 <= quantile <= 1.0:
+            raise ConfigError("quantile must be in [0, 1]")
+        if not self._entries:
+            raise ConfigError("cannot query an empty sketch")
+        entries = self._entries
+        if quantile <= 0.0:
+            return entries[0].value
+        if quantile >= 1.0:
+            return entries[-1].value
+        target = quantile * self.count
+        budget = self.epsilon * self.count
+        rmin = 0
+        for i, entry in enumerate(entries):
+            rmin += entry.g
+            rmax = rmin + entry.delta
+            if i + 1 < len(entries):
+                next_rmax = rmin + entries[i + 1].g + entries[i + 1].delta
+                if next_rmax > target + budget:
+                    return entry.value
+            else:
+                return entry.value
+        return entries[-1].value  # pragma: no cover - loop always returns
+
+    @property
+    def space(self) -> int:
+        """Number of retained entries (the memory bound under test)."""
+        return len(self._entries)

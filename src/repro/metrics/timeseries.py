@@ -6,6 +6,13 @@ compresses that into one number; these probes record the trajectory:
 bytes delivered per interval (goodput), congestion-window evolution, and
 queue occupancy, from which :mod:`repro.experiments.convergence` computes
 time-to-convergence.
+
+Storage goes through the sink protocol (:mod:`repro.metrics.sink`): the
+sampler writes ``observe(time, value)`` against whatever sink its
+:class:`~repro.metrics.config.MetricsConfig` selects — exact full-list
+series by default, bounded decimating buffers in sketch mode.  The
+pre-sink accessors (``TimeSeries.append``, ``TimeSeries.max_value``,
+``Sampler.series``) survive as deprecated shims over the exact path.
 """
 
 from __future__ import annotations
@@ -13,7 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
+from repro._compat import _deprecated
 from repro.errors import ConfigError
+from repro.metrics.config import DEFAULT_METRICS, MetricsConfig
+from repro.metrics.sink import SeriesSink, make_series_sink
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.simulator import Simulator
@@ -28,10 +38,15 @@ class TimeSeries:
     times: list[int] = field(default_factory=list)
     values: list[float] = field(default_factory=list)
 
-    def append(self, time: int, value: float) -> None:
-        """Record one sample."""
+    def observe(self, time: int, value: float) -> None:
+        """Record one sample (the sink-protocol write path)."""
         self.times.append(time)
         self.values.append(value)
+
+    def append(self, time: int, value: float) -> None:
+        """Deprecated alias for :meth:`observe`."""
+        _deprecated("TimeSeries.append is deprecated; use TimeSeries.observe")
+        self.observe(time, value)
 
     def __len__(self) -> int:
         return len(self.times)
@@ -44,12 +59,17 @@ class TimeSeries:
             if dt <= 0:
                 continue
             delta = self.values[i] - self.values[i - 1]
-            rates.append(self.times[i], delta * 1e12 / dt)
+            rates.observe(self.times[i], delta * 1e12 / dt)
         return rates
 
-    def max_value(self) -> float:
+    def peak(self) -> float:
         """Largest sample (0 for an empty series)."""
         return max(self.values, default=0.0)
+
+    def max_value(self) -> float:
+        """Deprecated alias for :meth:`peak`."""
+        _deprecated("TimeSeries.max_value is deprecated; use TimeSeries.peak")
+        return self.peak()
 
 
 class Sampler:
@@ -58,10 +78,19 @@ class Sampler:
     Each probe is ``(name, fn)`` where ``fn()`` returns the current value.
     Sampling stops automatically when :meth:`stop` is called or the
     simulator's horizon passes; the sampler never keeps an idle simulation
-    alive beyond ``max_samples``.
+    alive beyond ``max_samples`` ticks.  Samples land in per-probe sinks
+    chosen by ``config`` (exact by default); :meth:`snapshot` materializes
+    them as :class:`TimeSeries`.
     """
 
-    def __init__(self, sim: "Simulator", interval_ps: int, max_samples: int = 100_000) -> None:
+    def __init__(
+        self,
+        sim: "Simulator",
+        interval_ps: int,
+        max_samples: int = 100_000,
+        *,
+        config: MetricsConfig | None = None,
+    ) -> None:
         if interval_ps <= 0:
             raise ConfigError("sampling interval must be positive")
         if max_samples <= 0:
@@ -69,19 +98,37 @@ class Sampler:
         self.sim = sim
         self.interval_ps = interval_ps
         self.max_samples = max_samples
-        self.series: dict[str, TimeSeries] = {}
+        self.config = config if config is not None else DEFAULT_METRICS
+        self.sinks: dict[str, SeriesSink] = {}
         self._probes: list[tuple[str, Callable[[], float]]] = []
+        self._ticks = 0
         self._stopped = False
         self._started = False
 
-    def probe(self, name: str, fn: Callable[[], float]) -> TimeSeries:
-        """Register a probe; returns the series it will fill."""
-        if name in self.series:
+    def probe(self, name: str, fn: Callable[[], float]) -> SeriesSink:
+        """Register a probe; returns the sink it will fill."""
+        if name in self.sinks:
             raise ConfigError(f"probe {name!r} already registered")
-        series = TimeSeries(name, self.interval_ps)
-        self.series[name] = series
+        sink = make_series_sink(self.config, name, self.interval_ps)
+        self.sinks[name] = sink
         self._probes.append((name, fn))
-        return series
+        return sink
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.sinks
+
+    def __len__(self) -> int:
+        return len(self.sinks)
+
+    def snapshot(self) -> dict[str, TimeSeries]:
+        """Materialize every probe's retained points."""
+        return {name: sink.to_timeseries() for name, sink in self.sinks.items()}
+
+    @property
+    def series(self) -> dict[str, TimeSeries]:
+        """Deprecated accessor for the materialized series; use :meth:`snapshot`."""
+        _deprecated("Sampler.series is deprecated; use Sampler.snapshot()")
+        return self.snapshot()
 
     def start(self) -> None:
         """Begin sampling (idempotent)."""
@@ -99,8 +146,9 @@ class Sampler:
             return
         now = self.sim.now
         for name, fn in self._probes:
-            self.series[name].append(now, float(fn()))
-        if len(next(iter(self.series.values()))) >= self.max_samples:
+            self.sinks[name].observe(now, float(fn()))
+        self._ticks += 1
+        if self._ticks >= self.max_samples:
             self._stopped = True
             return
         self.sim.schedule(self.interval_ps, self._tick)

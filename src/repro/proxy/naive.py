@@ -137,3 +137,17 @@ class NaiveProxy:
         flow = NaiveRelayedFlow(inner=inner, outer=outer)
         self.flows.append(flow)
         return flow
+
+    def release(self, flow: NaiveRelayedFlow) -> None:
+        """Tear down a finished relay and forget it.
+
+        Long-lived harnesses (the open-loop engine) relay thousands of
+        flows through one proxy; without release, every finished flow's
+        split-connection state stays live in ``self.flows`` and the host
+        handler tables forever.
+        """
+        flow.teardown()
+        try:
+            self.flows.remove(flow)
+        except ValueError:
+            pass

@@ -7,6 +7,12 @@ sink.  Everything else in the library (links, queues, transports, proxies)
 is expressed as callbacks scheduled on a :class:`~repro.sim.simulator.Simulator`.
 """
 
+from repro.sim.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    save_checkpoint,
+)
 from repro.sim.events import Event
 from repro.sim.rng import RngRegistry, SimRandom, derive_stream
 from repro.sim.scheduler import EventScheduler
@@ -15,6 +21,8 @@ from repro.sim.timers import Timer
 from repro.sim.tracing import CsvTracer, NullTracer, RecordingTracer, TraceRecord, Tracer
 
 __all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointError",
     "CsvTracer",
     "Event",
     "EventScheduler",
@@ -27,4 +35,6 @@ __all__ = [
     "TraceRecord",
     "Tracer",
     "derive_stream",
+    "load_checkpoint",
+    "save_checkpoint",
 ]

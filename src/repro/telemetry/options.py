@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.errors import ConfigError
+from repro.metrics.config import DEFAULT_METRICS, MetricsConfig
 from repro.telemetry.instrumentation import (
     NULL_INSTRUMENTATION,
     Instrumentation,
@@ -58,6 +59,10 @@ class RunOptions:
       existed.
     * ``tie_break_limit`` — permute only the first N multi-entry ticks
       (the bisection knob; None = every tick).
+    * ``metrics`` — the :class:`~repro.metrics.config.MetricsConfig`
+      selecting exact (reference) or sketch (bounded-memory) storage for
+      everything the run measures.  Folded into ``scenario_key`` so the
+      two modes never share cache entries.
     """
 
     sanitize: bool = False
@@ -68,6 +73,7 @@ class RunOptions:
     max_samples: int = DEFAULT_MAX_SAMPLES
     tie_break_seed: int | None = None
     tie_break_limit: int | None = None
+    metrics: MetricsConfig = DEFAULT_METRICS
 
     def __post_init__(self) -> None:
         if self.sample_interval_ps <= 0:
@@ -92,6 +98,7 @@ class RunOptions:
             return TelemetryRecorder(
                 sample_interval_ps=self.sample_interval_ps,
                 max_samples=self.max_samples,
+                metrics=self.metrics,
             )
         return NULL_INSTRUMENTATION
 

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import ConfigError
+from repro.metrics.config import DEFAULT_METRICS, MetricsConfig
 from repro.metrics.timeseries import Sampler, TimeSeries
 from repro.telemetry.instrumentation import Instrumentation
 from repro.units import microseconds
@@ -143,6 +144,7 @@ class TelemetryRecorder(Instrumentation):
         sample_interval_ps: int = DEFAULT_SAMPLE_INTERVAL_PS,
         max_samples: int = DEFAULT_MAX_SAMPLES,
         max_series: int = DEFAULT_MAX_SERIES,
+        metrics: MetricsConfig = DEFAULT_METRICS,
     ) -> None:
         if sample_interval_ps <= 0:
             raise ConfigError("sample_interval_ps must be positive")
@@ -153,6 +155,7 @@ class TelemetryRecorder(Instrumentation):
         self.sample_interval_ps = sample_interval_ps
         self.max_samples = max_samples
         self.max_series = max_series
+        self.metrics = metrics
         #: probes that did not fit under ``max_series``.
         self.series_dropped = 0
         self._ports: list[Any] = []
@@ -203,7 +206,12 @@ class TelemetryRecorder(Instrumentation):
     def begin_run(self, sim: "Simulator") -> None:
         """Attach the sampler to ``sim`` and register every probe."""
         self._sim = sim
-        sampler = Sampler(sim, self.sample_interval_ps, max_samples=self.max_samples)
+        sampler = Sampler(
+            sim,
+            self.sample_interval_ps,
+            max_samples=self.max_samples,
+            config=self.metrics,
+        )
         self._sampler = sampler
         ports = list(self._ports)
         senders = list(self._senders)
@@ -289,14 +297,14 @@ class TelemetryRecorder(Instrumentation):
             "ports_registered": len(self._ports),
             "senders_registered": len(self._senders),
             "proxies_registered": len(self._proxies),
-            "series_recorded": len(self._sampler.series) if self._sampler else 0,
+            "series_recorded": len(self._sampler) if self._sampler else 0,
             "series_dropped": self.series_dropped,
             "fault_events_applied": getattr(self._injector, "applied", 0),
             "fault_events_skipped": getattr(self._injector, "skipped", 0),
         }
         return TelemetrySnapshot(
             sample_interval_ps=self.sample_interval_ps,
-            series=dict(self._sampler.series) if self._sampler else {},
+            series=self._sampler.snapshot() if self._sampler else {},
             profile=profile,
             counters=counters,
         )

@@ -1,0 +1,211 @@
+"""Checkpoint/restore: file format, closure pickling, kill/resume digests."""
+
+import struct
+
+import pytest
+
+from repro.competitors import install, uninstall
+from repro.metrics.config import MODE_SKETCH, MetricsConfig
+from repro.schemes import SCHEME_REGISTRY
+from repro.sim.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointError,
+    _MAGIC,
+    dumps,
+    load_checkpoint,
+    loads,
+    save_checkpoint,
+)
+from repro.units import milliseconds, seconds
+from repro.workloads.engine import (
+    DiurnalCurve,
+    OpenLoopEngine,
+    WorkloadEngineConfig,
+)
+from repro.workloads.sizes import HeavyTailConfig
+
+
+@pytest.fixture
+def competitors():
+    """Install the competitor schemes, and always tear them down again."""
+    install()
+    try:
+        yield
+    finally:
+        uninstall()
+
+
+class TestCheckpointFormat:
+    def test_round_trips_plain_payloads(self, tmp_path):
+        payload = {"counts": [1, 2, 3], "nested": {"pi": 3.14}}
+        path = save_checkpoint(tmp_path / "plain.ckpt", payload)
+        assert load_checkpoint(path) == payload
+
+    def test_rejects_non_checkpoint_files(self, tmp_path):
+        path = tmp_path / "garbage.ckpt"
+        path.write_bytes(b"definitely not a checkpoint")
+        with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+            load_checkpoint(path)
+
+    def test_rejects_missing_files(self, tmp_path):
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(tmp_path / "absent.ckpt")
+
+    def test_rejects_schema_version_mismatch(self, tmp_path):
+        path = save_checkpoint(tmp_path / "v.ckpt", [1, 2])
+        blob = bytearray(path.read_bytes())
+        struct.pack_into("<I", blob, len(_MAGIC), CHECKPOINT_SCHEMA_VERSION + 1)
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="schema"):
+            load_checkpoint(path)
+
+    def test_rejects_foreign_python_tag(self, tmp_path):
+        tag = b"cpython-0.0"
+        blob = (
+            _MAGIC
+            + struct.pack("<I", CHECKPOINT_SCHEMA_VERSION)
+            + struct.pack("<H", len(tag))
+            + tag
+            + b"\x00" * 32
+        )
+        path = tmp_path / "tag.ckpt"
+        path.write_bytes(blob)
+        with pytest.raises(CheckpointError, match="cpython-0.0"):
+            load_checkpoint(path)
+
+    def test_rejects_corrupt_body(self, tmp_path):
+        path = save_checkpoint(tmp_path / "c.ckpt", {"k": "v"})
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(path)
+
+    def test_write_is_atomic(self, tmp_path):
+        path = save_checkpoint(tmp_path / "a.ckpt", "first")
+        save_checkpoint(path, "second")
+        assert load_checkpoint(path) == "second"
+        assert not (tmp_path / "a.ckpt.tmp").exists()
+
+
+def _module_level_probe(x):
+    return x + 1
+
+
+class TestClosureSerialization:
+    def test_module_functions_pickle_by_reference(self):
+        restored = loads(dumps(_module_level_probe))
+        assert restored is _module_level_probe
+
+    def test_lambda_round_trips(self):
+        fn = lambda x: x * 3  # noqa: E731 - the point of the test
+        assert loads(dumps(fn))(7) == 21
+
+    def test_closure_cells_round_trip(self):
+        def make(base):
+            def add(x):
+                return base + x
+            return add
+
+        restored = loads(dumps(make(10)))
+        assert restored(5) == 15
+
+    def test_shared_state_restores_as_one_object(self):
+        # A container referenced both by a closure cell and directly in
+        # the graph must come back as a single shared object.
+        shared = [0]
+
+        def bump():
+            shared[0] += 1
+            return shared[0]
+
+        restored_bump, restored_shared = loads(dumps((bump, shared)))
+        restored_bump()
+        assert restored_shared == [1]
+
+    def test_defaults_and_kwdefaults_survive(self):
+        def fn(a, b=2, *, c=3):
+            return a + b + c
+
+        restored = loads(dumps(fn))
+        assert restored(1) == 6
+
+    def test_unpicklable_payload_is_a_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not serializable"):
+            save_checkpoint(tmp_path / "bad.ckpt", open(tmp_path / "bad.ckpt", "wb"))
+
+
+def _tiny_config(scheme, **overrides):
+    """A seconds-scale open-loop run: enough tenants to matter, fast."""
+    defaults = dict(
+        scheme=scheme,
+        horizon_ps=seconds(2),
+        segment_ps=milliseconds(500),
+        peak_arrivals_per_s=40.0,
+        sizes=HeavyTailConfig(
+            minimum_bytes=64_000, maximum_bytes=2_000_000, alpha=1.3
+        ),
+        diurnal=DiurnalCurve(period_ps=seconds(2), trough=0.5),
+        metrics=MetricsConfig(mode=MODE_SKETCH),
+        seed=3,
+    )
+    defaults.update(overrides)
+    return WorkloadEngineConfig(**defaults)
+
+
+def _advance_to(engine, until_ps):
+    """Grid-aligned manual segments — the same boundaries run() would hit."""
+    segment = engine.config.segment_ps
+    horizon = engine.config.horizon_ps
+    while engine.sim.now < until_ps:
+        boundary = min(horizon, ((engine.sim.now // segment) + 1) * segment)
+        engine.sim.run(until=boundary)
+        engine.segments_done += 1
+        engine.rss_track.append((engine.sim.now, 0))
+
+
+class TestKillRestoreDigests:
+    """The durability contract: interrupt anywhere, resume, same digest."""
+
+    def test_every_scheme_resumes_bit_identical(self, competitors, tmp_path):
+        for scheme in SCHEME_REGISTRY.names():
+            uninterrupted = OpenLoopEngine(_tiny_config(scheme)).run()
+
+            engine = OpenLoopEngine(_tiny_config(scheme))
+            _advance_to(engine, seconds(1))  # "SIGKILL" at half-horizon
+            path = save_checkpoint(tmp_path / f"{scheme}.ckpt", engine)
+            del engine
+            restored = load_checkpoint(path)
+            assert isinstance(restored, OpenLoopEngine)
+            resumed = restored.run()
+
+            assert resumed.digest == uninterrupted.digest, scheme
+            assert resumed.jobs_completed == uninterrupted.jobs_completed
+
+    def test_resume_with_predictor_is_bit_identical(self, tmp_path):
+        config = _tiny_config("streamlined", pattern_predictor=True)
+        uninterrupted = OpenLoopEngine(config).run()
+
+        engine = OpenLoopEngine(config)
+        _advance_to(engine, seconds(1))
+        path = save_checkpoint(tmp_path / "pred.ckpt", engine)
+        resumed = load_checkpoint(path).run()
+        assert resumed.digest == uninterrupted.digest
+
+    def test_checkpoint_is_a_snapshot_not_a_live_view(self, tmp_path):
+        engine = OpenLoopEngine(_tiny_config("baseline"))
+        _advance_to(engine, seconds(1))
+        path = save_checkpoint(tmp_path / "snap.ckpt", engine)
+        engine.run()  # drive the original to completion
+        restored = load_checkpoint(path)
+        assert restored.sim.now < engine.sim.now
+        assert restored.run().digest == engine.result().digest
+
+    def test_exact_metrics_mode_also_resumes(self, tmp_path):
+        config = _tiny_config("naive", metrics=MetricsConfig())
+        uninterrupted = OpenLoopEngine(config).run()
+        engine = OpenLoopEngine(config)
+        _advance_to(engine, seconds(1))
+        path = save_checkpoint(tmp_path / "exact.ckpt", engine)
+        resumed = load_checkpoint(path).run()
+        assert resumed.digest == uninterrupted.digest

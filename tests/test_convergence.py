@@ -12,18 +12,18 @@ from repro.units import megabytes, microseconds, milliseconds
 
 
 class TestTimeSeries:
-    def test_append_and_len(self):
+    def test_observe_and_len(self):
         series = TimeSeries("x", 100)
-        series.append(0, 1.0)
-        series.append(100, 2.0)
+        series.observe(0, 1.0)
+        series.observe(100, 2.0)
         assert len(series) == 2
-        assert series.max_value() == 2.0
+        assert series.peak() == 2.0
 
     def test_rate_per_second(self):
         series = TimeSeries("bytes", microseconds(1))
         # 1000 bytes per microsecond = 1e9 bytes/s
         for i in range(4):
-            series.append(i * microseconds(1), i * 1000.0)
+            series.observe(i * microseconds(1), i * 1000.0)
         rates = series.rate_per_second()
         assert len(rates) == 3
         assert all(r == pytest.approx(1e9) for r in rates.values)
@@ -37,11 +37,12 @@ class TestSampler:
         sim = Simulator()
         sampler = Sampler(sim, interval_ps=100)
         counter = [0]
-        series = sampler.probe("count", lambda: counter[0])
+        sink = sampler.probe("count", lambda: counter[0])
         sim.schedule(250, lambda: counter.__setitem__(0, 7))
         sampler.start()
         sim.schedule(1000, sampler.stop)
         sim.run(until=2000)
+        series = sink.to_timeseries()
         assert series.times[:4] == [0, 100, 200, 300]
         assert series.values[3] == 7.0
 
@@ -52,9 +53,9 @@ class TestSampler:
         sampler.start()
         sim.run(max_events=5)
         sampler.stop()
-        n = len(sampler.series["x"])
+        n = len(sampler.snapshot()["x"])
         sim.run(until=10_000)
-        assert len(sampler.series["x"]) <= n + 1
+        assert len(sampler.snapshot()["x"]) <= n + 1
 
     def test_max_samples_bounds_runaway(self):
         sim = Simulator()
@@ -62,7 +63,7 @@ class TestSampler:
         sampler.probe("x", lambda: 0.0)
         sampler.start()
         sim.run(until=10_000)
-        assert len(sampler.series["x"]) == 50
+        assert len(sampler.snapshot()["x"]) == 50
 
     def test_duplicate_probe_rejected(self):
         sampler = Sampler(Simulator(), interval_ps=1)

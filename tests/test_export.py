@@ -81,8 +81,8 @@ class TestCdfExport:
 class TestTimeSeriesExport:
     def test_rows_match_samples(self, tmp_path):
         series = TimeSeries("goodput", 100)
-        series.append(0, 1.5)
-        series.append(1_000_000_000, 2.5)
+        series.observe(0, 1.5)
+        series.observe(1_000_000_000, 2.5)
         path = write_timeseries_csv(series, tmp_path / "ts.csv")
         rows = list(csv.DictReader(path.open()))
         assert [float(r["time_ms"]) for r in rows] == [0.0, 1.0]

@@ -90,6 +90,7 @@ class TestNetworkCounters:
         conn.start()
         sim.run(until=milliseconds(100))
         counters = collect_network_counters(net)
-        hottest = counters.hottest_ports(3)
+        from repro.metrics.sink import rank_hottest
+        hottest = rank_hottest(counters.per_port_max, 3)
         depths = [d for _, d in hottest]
         assert depths == sorted(depths, reverse=True)

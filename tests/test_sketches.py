@@ -1,0 +1,171 @@
+"""Streaming metric sketches: bounds, determinism, and sink parity."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.metrics.config import DEFAULT_METRICS, MODE_SKETCH, MetricsConfig
+from repro.metrics.sink import (
+    DIGEST_PERCENTILES,
+    DecimatingSeriesSink,
+    ExactDistributionSink,
+    SketchDistributionSink,
+    make_distribution_sink,
+    make_series_sink,
+    rank_hottest,
+)
+from repro.metrics.sketches import GKQuantileSketch, ReservoirSample, StreamingMoments
+from repro.sim.rng import derive_stream
+
+
+class TestMetricsConfig:
+    def test_default_is_exact_reference_mode(self):
+        assert DEFAULT_METRICS.mode == "exact"
+        assert not DEFAULT_METRICS.bounded
+
+    def test_sketch_mode_is_bounded(self):
+        assert MetricsConfig(mode=MODE_SKETCH).bounded
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ConfigError):
+            MetricsConfig(mode="approximate")
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(ConfigError):
+            MetricsConfig(quantile_epsilon=0.0)
+        with pytest.raises(ConfigError):
+            MetricsConfig(quantile_epsilon=0.6)
+
+
+class TestStreamingMoments:
+    def test_matches_exact_statistics(self):
+        rng = derive_stream(7, "moments")
+        values = [rng.expovariate(1.0) for _ in range(5_000)]
+        moments = StreamingMoments()
+        for value in values:
+            moments.observe(value)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert moments.count == len(values)
+        assert math.isclose(moments.mean, mean, rel_tol=1e-9)
+        assert math.isclose(moments.variance, var, rel_tol=1e-9)
+        assert moments.minimum == min(values)
+        assert moments.maximum == max(values)
+
+    def test_merge_equals_single_stream(self):
+        rng = derive_stream(3, "merge")
+        values = [rng.random() for _ in range(2_000)]
+        whole = StreamingMoments()
+        left, right = StreamingMoments(), StreamingMoments()
+        for i, value in enumerate(values):
+            whole.observe(value)
+            (left if i % 2 == 0 else right).observe(value)
+        left.merge(right)
+        assert left.count == whole.count
+        assert math.isclose(left.mean, whole.mean, rel_tol=1e-9)
+        assert math.isclose(left.variance, whole.variance, rel_tol=1e-9)
+
+
+class TestReservoirSample:
+    def test_deterministic_for_seed_and_name(self):
+        a = ReservoirSample(64, seed=11, name="ict")
+        b = ReservoirSample(64, seed=11, name="ict")
+        for i in range(10_000):
+            a.observe(float(i))
+            b.observe(float(i))
+        assert a.values == b.values
+
+    def test_capacity_is_a_hard_bound(self):
+        sample = ReservoirSample(32, seed=0, name="x")
+        for i in range(100_000):
+            sample.observe(float(i))
+        assert len(sample.values) == 32
+
+    def test_small_streams_kept_verbatim(self):
+        sample = ReservoirSample(16, seed=0, name="x")
+        for i in range(10):
+            sample.observe(float(i))
+        assert sample.values == [float(i) for i in range(10)]
+
+
+class TestGKQuantileSketch:
+    def test_error_bound_on_heavy_tailed_stream(self):
+        epsilon = 0.01
+        sketch = GKQuantileSketch(epsilon=epsilon)
+        rng = derive_stream(5, "gk")
+        values = [rng.paretovariate(1.3) for _ in range(50_000)]
+        for value in values:
+            sketch.observe(value)
+        ranked = sorted(values)
+        n = len(ranked)
+        for quantile in (0.01, 0.25, 0.5, 0.9, 0.99, 0.999):
+            estimate = sketch.query(quantile)
+            # An eps-approximate quantile lands within eps*n ranks.
+            rank = ranked.index(estimate) if estimate in ranked else None
+            assert rank is not None
+            target = quantile * n
+            assert abs(rank - target) <= epsilon * n + 1
+
+    def test_space_stays_sublinear(self):
+        sketch = GKQuantileSketch(epsilon=0.01)
+        rng = derive_stream(9, "gk-space")
+        for _ in range(50_000):
+            sketch.observe(rng.random())
+        # GK keeps O((1/eps) * log(eps * n)) tuples; 50k exact values
+        # would be 50_000.
+        assert sketch.space < 2_000
+
+
+class TestDecimatingSeriesSink:
+    def test_respects_point_budget(self):
+        sink = DecimatingSeriesSink("queue", interval_ps=1_000, max_points=64)
+        for i in range(10_000):
+            sink.observe(i * 1_000, float(i))
+        series = sink.to_timeseries()
+        assert len(series) <= 64
+
+    def test_decimated_series_keeps_coarse_shape(self):
+        sink = DecimatingSeriesSink("ramp", interval_ps=1_000, max_points=128)
+        for i in range(4_096):
+            sink.observe(i * 1_000, float(i))
+        series = sink.to_timeseries()
+        assert list(series.values) == sorted(series.values)  # a ramp stays a ramp
+
+
+class TestSinkParity:
+    """Sketch-mode digests must agree with exact mode within epsilon."""
+
+    def test_quantiles_within_error_bound(self):
+        config = MetricsConfig(mode=MODE_SKETCH, quantile_epsilon=0.01)
+        exact_sink = make_distribution_sink(DEFAULT_METRICS, seed=1, name="ict")
+        sketch_sink = make_distribution_sink(config, seed=1, name="ict")
+        assert isinstance(exact_sink, ExactDistributionSink)
+        assert isinstance(sketch_sink, SketchDistributionSink)
+        rng = derive_stream(2, "parity")
+        values = [rng.paretovariate(1.1) for _ in range(20_000)]
+        for value in values:
+            exact_sink.observe(value)
+            sketch_sink.observe(value)
+        exact = exact_sink.finalize()
+        approx = sketch_sink.finalize()
+        assert exact.count == approx.count
+        assert math.isclose(exact.mean, approx.mean, rel_tol=1e-9)
+        ranked = sorted(values)
+        n = len(ranked)
+        for pct in DIGEST_PERCENTILES:
+            estimate = approx.percentile(pct)
+            rank = ranked.index(estimate)
+            assert abs(rank - pct / 100.0 * n) <= config.quantile_epsilon * n + 1
+
+    def test_series_sink_exact_mode_keeps_every_point(self):
+        sink = make_series_sink(DEFAULT_METRICS, "s", interval_ps=10)
+        for i in range(100):
+            sink.observe(i * 10, float(i))
+        assert len(sink.to_timeseries()) == 100
+
+
+class TestRankHottest:
+    def test_orders_by_value_then_key(self):
+        per_key = {"b": 5.0, "a": 5.0, "c": 9.0, "d": 1.0}
+        assert rank_hottest(per_key, 3) == [("c", 9.0), ("a", 5.0), ("b", 5.0)]
